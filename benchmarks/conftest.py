@@ -1,0 +1,52 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark file reproduces one table or figure from the paper: it
+runs the simulation, prints the same rows/series the paper reports
+(with the paper's reference values alongside), saves the rendering to
+``benchmarks/results/``, and asserts the *shape* of the result —
+orderings, crossovers, rough factors — not absolute hardware numbers.
+
+Run with ``pytest benchmarks/ --benchmark-only``; add ``-s`` to see the
+tables inline.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+# Shared scaled-down-but-faithful experiment configuration: the paper's
+# bus/chip structure (8x8 per card, two cards, 8 KB pages) with fewer
+# blocks so setup stays fast.  Bandwidth and latency are rate-based, so
+# results match the full-size geometry.
+from repro.flash import FlashGeometry, FlashTiming  # noqa: E402
+
+BENCH_GEO = FlashGeometry(buses_per_card=8, chips_per_bus=8,
+                          blocks_per_chip=16, pages_per_block=32,
+                          page_size=8192, cards_per_node=2)
+
+#: Throttles the node to the commodity SSD's 600 MB/s by capping each
+#: card's aurora link at 0.3 GB/s (Section 7.1's "Throttled BlueDBM").
+THROTTLED_TIMING = FlashTiming(aurora_bytes_per_ns=0.3)
+
+
+@pytest.fixture
+def report():
+    """Print a rendered table and persist it under benchmarks/results."""
+    def _report(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(text)
+    return _report
+
+
+def run_once(benchmark, fn):
+    """Run a simulation exactly once under pytest-benchmark.
+
+    DES results are deterministic; repeating rounds would only re-run
+    identical simulations, so a single round is both faster and honest.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

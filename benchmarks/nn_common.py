@@ -1,0 +1,174 @@
+"""Shared builders for the nearest-neighbour benchmarks (Figs 16-19).
+
+All runners return throughput in *comparisons per second* of 8 KB
+items, the figures' y axis.  Calibration anchors (Section 7.1):
+
+* BlueDBM baseline: 2.4 GB/s of flash / 8 KB ~= 293K cmp/s (paper 320K);
+* Throttled BlueDBM: 600 MB/s ~= 73K cmp/s;
+* host software: 12.5 us/comparison/core, so ~4 threads match one node.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from conftest import BENCH_GEO, THROTTLED_TIMING
+
+from repro.apps import (
+    NearestNeighborISP,
+    LSHIndex,
+    SoftwareNN,
+    TieredPageStore,
+    make_item_corpus,
+)
+from repro.core import BlueDBMNode
+from repro.devices import CommoditySSD, DRAMStore, HardDisk
+from repro.flash import FlashTiming
+from repro.host import HostConfig, HostCPU
+from repro.sim import Simulator, units
+
+# A multiple of the node's 128 chips so the striped layout loads every
+# bus evenly (an uneven stripe bottlenecks the doubly-loaded buses).
+N_ITEMS = 256
+ITEM_BYTES = BENCH_GEO.page_size
+N_COMPARISONS = 512
+
+
+def corpus():
+    return make_item_corpus(N_ITEMS, ITEM_BYTES, seed=42, n_clusters=4)
+
+
+def isp_rate(throttled: bool = False,
+             n_comparisons: int = 4 * N_COMPARISONS) -> float:
+    """In-store accelerated comparisons/s on one node."""
+    sim = Simulator()
+    timing = THROTTLED_TIMING if throttled else None
+    node = BlueDBMNode(sim, geometry=BENCH_GEO, flash_timing=timing)
+    app = NearestNeighborISP(node, n_engines=8)
+    items = corpus()
+    app.load(items, LSHIndex(ITEM_BYTES, seed=1))
+
+    def proc(sim):
+        rate = yield from app.throughput_run(items[0], n_comparisons)
+        return rate
+
+    return sim.run_process(proc(sim))
+
+
+def software_rate(threads: int, backend: str,
+                  n_comparisons: int = N_COMPARISONS,
+                  dram_gbs: float = 40.0,
+                  miss_fraction: float = 0.0,
+                  sequential: bool = False) -> float:
+    """Host-software comparisons/s against a chosen storage backend.
+
+    backend: 'dram' | 'dram+ssd' | 'dram+hdd' | 'ssd' | 'bluedbm-t'
+    """
+    sim = Simulator()
+    cpu = HostCPU(sim, HostConfig())
+    items = corpus()
+
+    if backend == "bluedbm-t":
+        node = BlueDBMNode(sim, geometry=BENCH_GEO,
+                           flash_timing=THROTTLED_TIMING)
+        addr_of = {}
+        for slot, (item_id, data) in enumerate(sorted(items.items())):
+            addr = BENCH_GEO.striped(slot)
+            node.device.store.program(addr, data)
+            addr_of[item_id] = addr
+
+        def read_fn(page):
+            data = yield sim.process(node.host_read(addr_of[page]))
+            return data
+
+        cpu = node.cpu
+    elif backend == "ssd":
+        ssd = CommoditySSD(sim, page_size=ITEM_BYTES)
+        if sequential:
+            # Items laid out contiguously for the arranged-sequential
+            # experiment (H-SFlash).
+            for i, data in items.items():
+                ssd.store(i, data)
+        else:
+            # Scatter items across the device so random bucket accesses
+            # are genuinely random (a real corpus is millions of items).
+            for i, data in items.items():
+                ssd.store(i * 1009 + 17, data)
+        read_fn = ssd.read
+    else:
+        dram = DRAMStore(sim, page_size=ITEM_BYTES, bandwidth_gbs=dram_gbs)
+        for i, data in items.items():
+            dram.store(i, data)
+        if backend == "dram":
+            read_fn = dram.read
+        else:
+            secondary = (CommoditySSD(sim, page_size=ITEM_BYTES)
+                         if backend == "dram+ssd"
+                         else HardDisk(sim, page_size=ITEM_BYTES))
+            for i, data in items.items():
+                secondary.store(i, data)
+            tiered = TieredPageStore(sim, dram, secondary, miss_fraction,
+                                     seed=7)
+            read_fn = tiered.read
+
+    app = SoftwareNN(sim, cpu, read_fn)
+    if sequential:
+        # Arrange pages so each thread's successive reads are
+        # consecutive device pages (Figure 18's H-SFlash trick).
+        per = N_ITEMS // threads or 1
+        pages = [0] * N_ITEMS
+        for j in range(N_ITEMS):
+            t, i = j % threads, j // threads
+            pages[j] = (t * per + i) % N_ITEMS
+    else:
+        rng = random.Random(3)
+        pages = [rng.randrange(N_ITEMS) for _ in range(N_ITEMS)]
+        if backend == "ssd":
+            # Match the scattered on-device layout.
+            pages = [p * 1009 + 17 for p in pages]
+
+    def proc(sim):
+        rate = yield from app.run(items[0], pages, threads=threads,
+                                  n_comparisons=n_comparisons)
+        return rate
+
+    return sim.run_process(proc(sim))
+
+
+def pipelined_host_rate(n_comparisons: int = N_COMPARISONS,
+                        outstanding: int = 128) -> float:
+    """Async host software on unthrottled BlueDBM: PCIe-bound.
+
+    Deeply pipelined reads (kernel-bypass style) so the 1.6 GB/s PCIe
+    link, not thread count, is the limiter — the paper's explanation of
+    why software tops out below the ISP even with ideal software.
+    """
+    sim = Simulator()
+    node = BlueDBMNode(sim, geometry=BENCH_GEO)
+    items = corpus()
+    addrs = []
+    for slot, (item_id, data) in enumerate(sorted(items.items())):
+        addr = BENCH_GEO.striped(slot)
+        node.device.store.program(addr, data)
+        addrs.append(addr)
+
+    done = []
+
+    def one(i):
+        yield sim.process(node.host_read(addrs[i % len(addrs)],
+                                         software_path=False))
+        yield sim.process(node.cpu.compute(SoftwareNN.COMPARE_NS_PER_8K))
+        done.append(sim.now)
+
+    def driver(sim):
+        pending = []
+        for i in range(n_comparisons):
+            pending.append(sim.process(one(i)))
+            if len(pending) >= outstanding:
+                yield pending.pop(0)
+        for proc in pending:
+            yield proc
+
+    sim.run_process(driver(sim))
+    return n_comparisons / units.to_s(max(done))

@@ -1,0 +1,64 @@
+"""String search: in-store Morris-Pratt engines vs software grep.
+
+Plants a needle in an 8 MB synthetic haystack, stores it through the
+file system, and searches it three ways (Figure 21): 32 in-store MP
+engines at flash speed, grep-style software over a commodity SSD, and
+over a hard disk.  All three must return exactly the oracle's matches.
+
+Run:  python examples/string_search.py
+"""
+
+from repro.apps import SoftwareGrep, StringSearchISP, make_text_corpus
+from repro.core import BlueDBMNode
+from repro.devices import CommoditySSD, HardDisk
+from repro.flash import FlashGeometry
+from repro.host import HostConfig, HostCPU
+from repro.sim import Simulator
+
+ONE_CARD = FlashGeometry(buses_per_card=8, chips_per_bus=8,
+                         blocks_per_chip=16, pages_per_block=32,
+                         page_size=8192, cards_per_node=1)
+NEEDLE = b"in-store processing"
+
+
+def main():
+    corpus, expected = make_text_corpus(1024 * 8192, NEEDLE, 12, seed=5)
+    print(f"haystack: {len(corpus) / 1e6:.0f} MB, "
+          f"{len(expected)} occurrences of {NEEDLE!r}\n")
+
+    # --- accelerated: 4 MP engines per bus, one flash board ------------
+    sim = Simulator()
+    node = BlueDBMNode(sim, geometry=ONE_CARD, isp_queue_depth=4)
+    app = StringSearchISP(node, engines_per_bus=4)
+
+    def isp(sim):
+        yield from app.setup(corpus)
+        return (yield from app.run(NEEDLE))
+
+    matches, gbs, cpu = sim.run_process(isp(sim))
+    assert matches == expected
+    print(f"Flash/ISP     : {gbs * 1000:7.0f} MB/s  host CPU {cpu:5.1%}  "
+          f"({app.n_engines} MP engines)")
+
+    # --- software grep baselines ---------------------------------------
+    for name, factory in [("Flash/SW grep", CommoditySSD),
+                          ("HDD/SW grep  ", HardDisk)]:
+        sim = Simulator()
+        cpu_model = HostCPU(sim, HostConfig())
+        grep = SoftwareGrep(sim, cpu_model, factory(sim))
+        n_pages = grep.load(corpus)
+
+        def sw(sim, grep=grep, n_pages=n_pages):
+            return (yield from grep.run(NEEDLE, n_pages))
+
+        matches, gbs, util = sim.run_process(sw(sim))
+        assert matches == expected
+        print(f"{name}: {gbs * 1000:7.0f} MB/s  host CPU {util:5.1%}")
+
+    print("\nall three methods returned identical match offsets")
+    print("(paper: ISP 1.1 GB/s at ~0% CPU; SSD grep 0.6 GB/s at 65%; "
+          "HDD grep 7.5x slower)")
+
+
+if __name__ == "__main__":
+    main()

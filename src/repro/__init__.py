@@ -1,0 +1,37 @@
+"""BlueDBM reproduction: a behavioral simulator of a flash-based Big Data
+analytics appliance with in-store processing and an integrated storage
+network (Jun et al., ISCA 2015).
+
+Subpackages
+-----------
+``repro.sim``
+    Discrete-event simulation kernel (events, processes, FIFOs, stats).
+``repro.flash``
+    Raw NAND flash substrate: chips, buses, ECC, tagged controller,
+    interface splitter and Flash Server.
+``repro.ftl`` / ``repro.fs``
+    Host-side flash management: page-mapped FTL and an RFS-style
+    log-structured file system exposing physical addresses to ISPs.
+``repro.network``
+    Integrated storage network: serial links with token flow control,
+    switches, deterministic per-endpoint routing, topology builders.
+``repro.host``
+    Host interface: PCIe/DMA model, page buffers, RPC, CPU timing model,
+    FIFO accelerator scheduler.
+``repro.devices``
+    Baseline devices: commodity SSD, hard disk, DRAM store.
+``repro.isp``
+    In-store processor engines: Hamming/LSH, Morris-Pratt search,
+    graph traversal.
+``repro.core``
+    The appliance itself: node and cluster assembly, accelerator
+    framework, global address space.
+``repro.apps``
+    Full applications with accelerated and software paths (nearest
+    neighbour, graph traversal, string search).
+``repro.reporting``
+    Power/FPGA-resource models and table/figure formatting used by the
+    benchmark harnesses.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,148 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    Print the modeled appliance's configuration and derived limits.
+``demo``
+    Run a one-minute tour: node assembly, a file through the FS, an
+    in-store stream, and a remote read over the integrated network.
+``experiments``
+    List every reproduced table/figure and the benchmark that
+    regenerates it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import __version__
+from .flash import DEFAULT_GEOMETRY, FlashTiming
+from .host import HostConfig
+from .network import NetworkConfig
+from .reporting import NodePower, PowerModel
+
+EXPERIMENTS = [
+    ("Table 1", "Artix-7 flash controller resources",
+     "benchmarks/test_table1_flash_resources.py"),
+    ("Table 2", "Virtex-7 host resources",
+     "benchmarks/test_table2_host_resources.py"),
+    ("Table 3", "node power (240 W, <20% added)",
+     "benchmarks/test_table3_power.py"),
+    ("Figure 11", "network bandwidth/latency vs hops",
+     "benchmarks/test_fig11_network.py"),
+    ("Figure 12", "remote access latency breakdown",
+     "benchmarks/test_fig12_latency.py"),
+    ("Figure 13", "storage bandwidth (4 scenarios)",
+     "benchmarks/test_fig13_bandwidth.py"),
+    ("Figure 16", "nearest neighbour vs host DRAM",
+     "benchmarks/test_fig16_nn_scaling.py"),
+    ("Figure 17", "the RAMCloud cliff",
+     "benchmarks/test_fig17_nn_dram_cliff.py"),
+    ("Figure 18", "commodity SSD random vs sequential",
+     "benchmarks/test_fig18_nn_ssd.py"),
+    ("Figure 19", "in-store processing advantage",
+     "benchmarks/test_fig19_nn_isp.py"),
+    ("Figure 20", "distributed graph traversal",
+     "benchmarks/test_fig20_graph.py"),
+    ("Figure 21", "string search vs grep",
+     "benchmarks/test_fig21_strsearch.py"),
+    ("Ablations", "tags / routing / FTL / striping",
+     "benchmarks/test_ablation_*.py"),
+    ("Extension", "SQL offload vs selectivity",
+     "benchmarks/test_ext_sql_offload.py"),
+]
+
+
+def cmd_info() -> int:
+    geometry = DEFAULT_GEOMETRY
+    timing = FlashTiming()
+    host = HostConfig()
+    net = NetworkConfig()
+    power = NodePower()
+    print(f"BlueDBM reproduction v{__version__} (ISCA 2015)")
+    print("\nper node:")
+    print(f"  flash           : {geometry.node_bytes / 1e12:.1f} TB in "
+          f"{geometry.cards_per_node} cards x {geometry.buses_per_card} "
+          f"buses x {geometry.chips_per_bus} chips")
+    print(f"  page / block    : {geometry.page_size} B / "
+          f"{geometry.pages_per_block} pages")
+    print(f"  flash bandwidth : "
+          f"{timing.bus_bytes_per_ns * geometry.buses_per_card * geometry.cards_per_node:.1f} GB/s "
+          f"(read latency {timing.t_read_ns / 1000:.0f} us)")
+    print(f"  PCIe            : {host.pcie_dev_to_host_gbs} GB/s to host, "
+          f"{host.pcie_host_to_dev_gbs} GB/s to device")
+    print(f"  page buffers    : {host.read_buffers} read + "
+          f"{host.write_buffers} write")
+    print(f"  power           : {power.total_w:.0f} W "
+          f"({power.added_fraction:.0%} added by BlueDBM)")
+    print("\nnetwork:")
+    print(f"  link            : {net.link_gbps:.0f} Gb/s, "
+          f"{net.hop_latency_ns / 1000:.2f} us/hop, "
+          f"{net.protocol_efficiency:.0%} payload efficiency")
+    print(f"  ports per node  : 8 (ring/mesh/star/fat-tree topologies)")
+    rack = PowerModel(n_nodes=20)
+    print(f"\n20-node rack    : {rack.capacity_bytes / 1e12:.0f} TB, "
+          f"{rack.cluster_w / 1000:.1f} kW")
+    return 0
+
+
+def cmd_demo() -> int:
+    from .core import BlueDBMCluster
+    from .flash import FlashGeometry, PhysAddr
+    from .sim import Simulator, Store, units
+
+    geometry = FlashGeometry(buses_per_card=8, chips_per_bus=8,
+                             blocks_per_chip=16, pages_per_block=32,
+                             page_size=8192, cards_per_node=2)
+    sim = Simulator()
+    cluster = BlueDBMCluster(sim, 3, node_kwargs=dict(geometry=geometry))
+    node = cluster.nodes[0]
+    print("built a 3-node cluster (ring, 4 lanes/side)")
+
+    def tour(sim):
+        yield from node.fs.write_file("tour.dat", b"hello flash" * 3000)
+        extents = node.fs.physical_extents("tour.dat")
+        print(f"wrote tour.dat -> {len(extents)} pages at "
+              f"{[str(a) for a in extents[:2]]}...")
+        handle = node.flash_server.register_file("tour.dat", extents)
+        out = Store(sim)
+        sim.process(node.flash_server.stream_file(handle.handle_id, out))
+        t0 = sim.now
+        for _ in range(len(extents)):
+            yield out.get()
+        print(f"ISP streamed it in {units.to_us(sim.now - t0):.1f} us")
+        remote = PhysAddr(node=1, page=3)
+        cluster.nodes[1].device.store.program(remote, b"remote page")
+        t0 = sim.now
+        data, breakdown = yield from cluster.isp_remote_flash(0, remote)
+        print(f"remote ISP-F read: {data[:11]!r} in "
+              f"{units.to_us(breakdown.total):.1f} us "
+              f"(network part {units.to_us(breakdown.network):.2f} us)")
+
+    sim.run_process(tour(sim))
+    print(f"total simulated time: {units.to_ms(sim.now):.2f} ms")
+    return 0
+
+
+def cmd_experiments() -> int:
+    width = max(len(r[0]) for r in EXPERIMENTS)
+    for exp_id, title, path in EXPERIMENTS:
+        print(f"{exp_id:{width}s}  {title:40s} {path}")
+    print("\nrun them all: pytest benchmarks/ --benchmark-only -s")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="BlueDBM reproduction toolkit")
+    parser.add_argument("command", nargs="?", default="info",
+                        choices=["info", "demo", "experiments"])
+    args = parser.parse_args(argv)
+    return {"info": cmd_info, "demo": cmd_demo,
+            "experiments": cmd_experiments}[args.command]()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

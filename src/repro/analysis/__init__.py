@@ -1,0 +1,5 @@
+"""Analysis utilities: parameter sweeps over the appliance model."""
+
+from .sweep import SweepResult, cross_sweep, sweep
+
+__all__ = ["SweepResult", "sweep", "cross_sweep"]

@@ -1,0 +1,81 @@
+"""Parameter sweeps: run an experiment across a parameter grid.
+
+The benchmarks reproduce the paper's fixed configurations; this utility
+is for the follow-on questions a user of the appliance model actually
+asks — "what if links were 25 Gbps?", "how many lanes until the flash
+is the bottleneck?", "where does PCIe stop mattering?".  A sweep runs
+an experiment factory once per parameter value (each in a fresh
+simulator, so runs are independent and deterministic) and collects a
+result series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Sequence
+
+__all__ = ["SweepResult", "sweep", "cross_sweep"]
+
+
+@dataclass
+class SweepResult:
+    """One parameter axis and the measured series along it."""
+
+    parameter: str
+    values: List[Any]
+    results: List[Any]
+
+    def __post_init__(self):
+        if len(self.values) != len(self.results):
+            raise ValueError("values/results length mismatch")
+
+    def as_dict(self) -> Dict[Any, Any]:
+        return dict(zip(self.values, self.results))
+
+    def series(self, key: str) -> List[Any]:
+        """Extract one field when results are dictionaries."""
+        return [r[key] for r in self.results]
+
+    def argmax(self):
+        """Parameter value with the largest (scalar) result."""
+        best = max(range(len(self.results)),
+                   key=lambda i: self.results[i])
+        return self.values[best]
+
+    def is_monotone_increasing(self, tolerance: float = 0.0) -> bool:
+        """True if the (scalar) series never drops by more than
+        ``tolerance`` (relative)."""
+        for a, b in zip(self.results, self.results[1:]):
+            if b < a * (1.0 - tolerance):
+                return False
+        return True
+
+
+def sweep(parameter: str, values: Sequence[Any],
+          experiment: Callable[[Any], Any]) -> SweepResult:
+    """Run ``experiment(value)`` for each value; collect results.
+
+    The experiment owns simulator construction so every point is an
+    independent, reproducible run.
+    """
+    values = list(values)
+    if not values:
+        raise ValueError("empty sweep")
+    return SweepResult(parameter, values,
+                       [experiment(v) for v in values])
+
+
+def cross_sweep(param_a: str, values_a: Sequence[Any],
+                param_b: str, values_b: Sequence[Any],
+                experiment: Callable[[Any, Any], Any]
+                ) -> Dict[Any, SweepResult]:
+    """2-D sweep: one :class:`SweepResult` over ``param_b`` per value of
+    ``param_a``."""
+    values_a, values_b = list(values_a), list(values_b)
+    if not values_a or not values_b:
+        raise ValueError("empty sweep axis")
+    return {
+        a: SweepResult(param_b, values_b,
+                       [experiment(a, b) for b in values_b])
+        for a in values_a
+    }

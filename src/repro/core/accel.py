@@ -1,0 +1,124 @@
+"""In-store processor framework (the hardware-software codesign layer).
+
+The paper's in-store processors are Bluespec modules wired to the four
+node services (flash, network, host, DRAM) through latency-insensitive
+FIFOs.  Here an :class:`Engine` is a Python object with
+
+* a **functional core** — :meth:`process_page` computes the real answer
+  on real page bytes, and
+* a **timing contract** — the engine consumes its input stream at a
+  configured ``bytes_per_ns``, occupying its unit for the corresponding
+  simulated time.
+
+:class:`EngineArray` models the replicated engines the paper deploys
+("we use 4 engines per bus to maximize the flash bandwidth", Section
+7.3); :func:`stream_job` wires a Flash Server page stream through an
+array and collects results, which is the canonical ISP dataflow.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence
+
+from ..sim import Counter, Resource, Simulator, Store, units
+
+__all__ = ["Engine", "EngineArray", "stream_job"]
+
+
+class Engine:
+    """One in-store processing engine instance."""
+
+    def __init__(self, sim: Simulator, bytes_per_ns: float,
+                 name: str = "engine", setup_ns: int = 0):
+        if bytes_per_ns <= 0:
+            raise ValueError("engine throughput must be positive")
+        if setup_ns < 0:
+            raise ValueError("negative setup time")
+        self.sim = sim
+        self.bytes_per_ns = bytes_per_ns
+        self.name = name
+        self.setup_ns = setup_ns
+        self.unit = Resource(sim, capacity=1, name=name)
+        self.pages_processed = Counter(f"{name}-pages")
+        self.bytes_processed = Counter(f"{name}-bytes")
+
+    # -- functional core (override me) --------------------------------------
+    def process_page(self, data: bytes, context: Any = None) -> Any:
+        """Compute this engine's real result for one page of data."""
+        raise NotImplementedError
+
+    # -- timed execution -------------------------------------------------------
+    def run_page(self, data: bytes, context: Any = None):
+        """Process one page at engine speed (DES generator -> result)."""
+        yield self.unit.request()
+        try:
+            yield self.sim.timeout(
+                self.setup_ns
+                + units.transfer_ns(len(data), self.bytes_per_ns))
+        finally:
+            self.unit.release()
+        result = self.process_page(data, context)
+        self.pages_processed.add()
+        self.bytes_processed.add(len(data))
+        return result
+
+
+class EngineArray:
+    """A bank of identical engines fed round-robin."""
+
+    def __init__(self, engines: Sequence[Engine]):
+        if not engines:
+            raise ValueError("engine array cannot be empty")
+        self.engines = list(engines)
+        self._next = 0
+
+    def __len__(self) -> int:
+        return len(self.engines)
+
+    def pick(self) -> Engine:
+        """Round-robin engine selection (static dispatch, as in hardware)."""
+        engine = self.engines[self._next]
+        self._next = (self._next + 1) % len(self.engines)
+        return engine
+
+    @property
+    def aggregate_bytes_per_ns(self) -> float:
+        return sum(e.bytes_per_ns for e in self.engines)
+
+    @property
+    def pages_processed(self) -> int:
+        return sum(e.pages_processed.value for e in self.engines)
+
+
+def stream_job(sim: Simulator, pages: Store, array: EngineArray,
+               n_pages: int, context: Any = None,
+               on_result: Optional[Callable[[Any], None]] = None):
+    """The canonical ISP dataflow (DES generator -> list of results).
+
+    Pulls ``n_pages`` :class:`~repro.flash.controller.ReadResult` items
+    from ``pages`` (typically fed by ``FlashServer.stream_pages``),
+    dispatches each to an engine, and gathers results.  Pages overlap
+    freely across engines; results are returned in completion order.
+    """
+    if n_pages < 0:
+        raise ValueError("negative page count")
+    results: List[Any] = []
+    in_flight: List = []
+
+    def _one(result_page):
+        engine = array.pick()
+        value = yield sim.process(
+            engine.run_page(result_page.data, context))
+        if on_result is not None:
+            on_result(value)
+        results.append(value)
+
+    for _ in range(n_pages):
+        page = yield pages.get()
+        in_flight.append(sim.process(_one(page)))
+        # Keep the in-flight list from growing without bound.
+        if len(in_flight) >= 4 * len(array):
+            yield in_flight.pop(0)
+    for proc in in_flight:
+        yield proc
+    return results

@@ -1,0 +1,341 @@
+"""The BlueDBM rack: nodes wired by the integrated storage network.
+
+Implements the four remote-access paths measured in Figure 12 (and used
+by Figures 13 and 20):
+
+* **ISP-F** — a local in-store processor requests a page from a *remote
+  flash controller* directly over the integrated network; no host
+  software anywhere.
+* **H-F** — local *host software* issues the request; the remote side is
+  still served entirely by its storage device; data returns over the
+  integrated network and crosses the local PCIe once.
+* **H-RH-F** — the request detours through the *remote host's software*
+  (Ethernet RPC), which commands its flash; data still returns over the
+  integrated network.
+* **H-D** — like H-RH-F but served from the remote node's DRAM.
+
+The request/response protocol runs on logical endpoints: endpoint 0
+carries requests; responses are spread over the remaining endpoints so
+that parallel serial lanes between nodes can all be used (deterministic
+per-endpoint routing, Section 3.2.3).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Optional
+
+from ..flash import PhysAddr
+from ..network import EthernetFabric, NetworkConfig, StorageNetwork, Topology, ring
+from ..sim import Event, Simulator, Store
+from .node import BlueDBMNode
+
+__all__ = ["BlueDBMCluster", "LatencyBreakdown"]
+
+REQUEST_EP = 0
+_REQUEST_BYTES = 32  # a flash command: address + tag + reply route
+
+
+class LatencyBreakdown:
+    """Figure 12's four latency components, in nanoseconds."""
+
+    __slots__ = ("software", "storage", "transfer", "network")
+
+    def __init__(self, software: int = 0, storage: int = 0,
+                 transfer: int = 0, network: int = 0):
+        self.software = software
+        self.storage = storage
+        self.transfer = transfer
+        self.network = network
+
+    @property
+    def total(self) -> int:
+        return self.software + self.storage + self.transfer + self.network
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"software": self.software, "storage": self.storage,
+                "transfer": self.transfer, "network": self.network}
+
+
+class BlueDBMCluster:
+    """N BlueDBM nodes + storage network + host Ethernet."""
+
+    #: NIC interrupt + scheduler wakeup when an Ethernet RPC arrives.
+    NIC_WAKEUP_NS = 15_000
+    #: Kernel block-I/O tax of a cold synchronous flash read on the
+    #: remote host: context switch out and back in around the device
+    #: interrupt, request queueing, cold caches.  Calibrated so the
+    #: H-RH-F path totals ~330 us as in Figure 12's tallest bar.
+    REMOTE_BLOCKIO_NS = 100_000
+
+    def __init__(self, sim: Simulator, n_nodes: int,
+                 topology: Optional[Topology] = None,
+                 network_config: Optional[NetworkConfig] = None,
+                 n_endpoints: int = 4, app_endpoints: int = 0,
+                 node_kwargs: Optional[dict] = None):
+        """``app_endpoints`` reserves endpoints 1..app_endpoints for
+        applications (e.g. MapReduce shuffle); the cluster's own
+        request/response protocol uses endpoint 0 plus the rest."""
+        if n_nodes < 1:
+            raise ValueError("need at least one node")
+        if app_endpoints < 0:
+            raise ValueError("negative app_endpoints")
+        if n_endpoints < 2 + app_endpoints:
+            raise ValueError(
+                "need >= 2 endpoints beyond the reserved application "
+                "endpoints (requests + responses)")
+        self.sim = sim
+        self.n_nodes = n_nodes
+        node_kwargs = node_kwargs or {}
+        self.nodes: List[BlueDBMNode] = [
+            BlueDBMNode(sim, node_id=i, **node_kwargs)
+            for i in range(n_nodes)
+        ]
+        if topology is None:
+            topology = (ring(n_nodes, lanes=4) if n_nodes >= 3
+                        else _direct(n_nodes))
+        self.topology = topology
+        self.network = StorageNetwork(sim, topology,
+                                      config=network_config,
+                                      n_endpoints=n_endpoints)
+        self.ethernet = EthernetFabric(sim, n_nodes)
+        self.app_endpoints = app_endpoints
+        self._first_response_ep = 1 + app_endpoints
+        self.n_response_eps = n_endpoints - self._first_response_ep
+
+        self._req_ids = itertools.count()
+        self._pending: Dict[int, Event] = {}
+        # Non-protocol Ethernet traffic (application messages) per node.
+        self.app_inbox: List[Store] = [
+            Store(sim, name=f"app-inbox-{n}") for n in range(n_nodes)]
+        for node in range(n_nodes):
+            sim.process(self._flash_service(node),
+                        name=f"flash-service-{node}")
+            for ep in range(self._first_response_ep, n_endpoints):
+                sim.process(self._response_dispatcher(node, ep),
+                            name=f"resp-dispatch-{node}-{ep}")
+            sim.process(self._ethernet_service(node),
+                        name=f"eth-service-{node}")
+
+    @property
+    def page_size(self) -> int:
+        return self.nodes[0].geometry.page_size
+
+    # ------------------------------------------------------------------
+    # Remote flash/DRAM service (runs on every storage device)
+    # ------------------------------------------------------------------
+    def _flash_service(self, node_id: int):
+        """Serve remote page requests arriving on the request endpoint."""
+        endpoint = self.network.endpoint(node_id, REQUEST_EP)
+        while True:
+            message = yield self.sim.process(endpoint.receive())
+            self.sim.process(
+                self._serve(node_id, message.src, message.payload),
+                name=f"serve-{node_id}")
+
+    def _serve(self, node_id: int, requester: int, request: Dict[str, Any]):
+        node = self.nodes[node_id]
+        if request["kind"] == "flash":
+            result = yield self.sim.process(node.net_read(request["addr"]))
+            data = result.data
+        elif request["kind"] == "dram":
+            data = yield self.sim.process(
+                _gen(node.dram.read(request["page"])))
+        else:
+            raise ValueError(f"unknown request kind {request['kind']!r}")
+        reply_ep = self.network.endpoint(node_id, request["reply_ep"])
+        yield self.sim.process(reply_ep.send(
+            requester,
+            {"req_id": request["req_id"], "data": data},
+            self.page_size))
+
+    def _response_dispatcher(self, node_id: int, ep_id: int):
+        endpoint = self.network.endpoint(node_id, ep_id)
+        while True:
+            message = yield self.sim.process(endpoint.receive())
+            event = self._pending.pop(message.payload["req_id"], None)
+            if event is not None:
+                event.succeed(message.payload["data"])
+
+    def _remote_request(self, src: int, dst: int,
+                        request: Dict[str, Any]):
+        """Issue a request over the integrated network; wait for data."""
+        req_id = next(self._req_ids)
+        reply_ep = self._first_response_ep + (req_id % self.n_response_eps)
+        request = dict(request, req_id=req_id, reply_ep=reply_ep)
+        event = self.sim.event()
+        self._pending[req_id] = event
+        endpoint = self.network.endpoint(src, REQUEST_EP)
+        yield self.sim.process(
+            endpoint.send(dst, request, _REQUEST_BYTES))
+        data = yield event
+        return data
+
+    # ------------------------------------------------------------------
+    # Remote host service (Ethernet-reached, for H-RH-F / H-D)
+    # ------------------------------------------------------------------
+    def _ethernet_service(self, node_id: int):
+        """Remote host software: take Ethernet RPCs, command storage.
+
+        Messages that are not cluster-protocol requests (no ``kind``
+        field) are application traffic and land in the node's
+        :attr:`app_inbox` for whoever is listening (e.g. a MapReduce
+        collector).
+        """
+        while True:
+            message = yield self.sim.process(self.ethernet.receive(node_id))
+            payload = message.payload
+            if isinstance(payload, dict) and "kind" in payload:
+                self.sim.process(
+                    self._serve_via_host(node_id, payload),
+                    name=f"eth-serve-{node_id}")
+            else:
+                yield self.app_inbox[node_id].put(message)
+
+    def _serve_via_host(self, node_id: int, request: Dict[str, Any]):
+        """The generic-cluster data path the integrated network avoids.
+
+        The remote *host software* performs the read: the data crosses
+        the remote PCIe link up into host DRAM (a full HostInterface
+        read), then is pushed back down over PCIe to be injected into
+        the storage network toward the requester.  These two extra PCIe
+        crossings plus the kernel costs are exactly what ISP-F (and H-F)
+        skip.
+        """
+        node = self.nodes[node_id]
+        # NIC interrupt + scheduler wakeup before the host can serve.
+        yield self.sim.timeout(self.NIC_WAKEUP_NS)
+        if request["kind"] == "flash":
+            data = yield self.sim.process(node.host_read(request["addr"]))
+            # Kernel block-I/O overhead of the synchronous read.
+            yield self.sim.timeout(self.REMOTE_BLOCKIO_NS)
+        elif request["kind"] == "dram":
+            yield self.sim.process(
+                node.cpu.compute(node.host_config.software_request_ns))
+            data = yield self.sim.process(
+                _gen(node.dram.read(request["page"])))
+        else:
+            raise ValueError(f"unknown request kind {request['kind']!r}")
+        # Response software cost + push the page back into the device.
+        yield self.sim.process(
+            node.cpu.compute(node.host_config.software_request_ns))
+        yield self.sim.process(node.pcie.host_to_device(self.page_size))
+        reply_ep = self.network.endpoint(node_id, request["reply_ep"])
+        yield self.sim.process(reply_ep.send(
+            request["requester"],
+            {"req_id": request["req_id"], "data": data},
+            self.page_size))
+
+    # ------------------------------------------------------------------
+    # The four measured access paths (all DES generators -> (data, bd))
+    # ------------------------------------------------------------------
+    def isp_remote_flash(self, src: int, addr: PhysAddr):
+        """ISP-F: in-store processor reads remote flash directly."""
+        t0 = self.sim.now
+        data = yield from self._remote_request(
+            src, addr.node, {"kind": "flash", "addr": addr})
+        breakdown = self._attribute(src, addr.node, self.sim.now - t0,
+                                    software=0)
+        return data, breakdown
+
+    def host_remote_flash(self, src: int, addr: PhysAddr):
+        """H-F: local host software reads remote flash over the
+        integrated network (one local software + PCIe crossing)."""
+        node = self.nodes[src]
+        t0 = self.sim.now
+        yield self.sim.process(
+            node.cpu.compute(node.host_config.software_request_ns))
+        yield self.sim.timeout(node.host_config.rpc_ns)
+        software = self.sim.now - t0
+        data = yield from self._remote_request(
+            src, addr.node, {"kind": "flash", "addr": addr})
+        yield self.sim.process(node.pcie.device_to_host(self.page_size))
+        yield self.sim.timeout(node.host_config.interrupt_ns)
+        breakdown = self._attribute(src, addr.node, self.sim.now - t0,
+                                    software=software)
+        return data, breakdown
+
+    def host_remote_via_host(self, src: int, addr: PhysAddr):
+        """H-RH-F: request detours through the remote host's software."""
+        node = self.nodes[src]
+        t0 = self.sim.now
+        yield self.sim.process(
+            node.cpu.compute(node.host_config.software_request_ns))
+        software = self.sim.now - t0
+        req_id = next(self._req_ids)
+        reply_ep = self._first_response_ep + (req_id % self.n_response_eps)
+        event = self.sim.event()
+        self._pending[req_id] = event
+        yield self.sim.process(self.ethernet.send(
+            src, addr.node,
+            {"kind": "flash", "addr": addr, "req_id": req_id,
+             "reply_ep": reply_ep, "requester": src},
+            _REQUEST_BYTES))
+        data = yield event
+        yield self.sim.process(node.pcie.device_to_host(self.page_size))
+        yield self.sim.timeout(node.host_config.interrupt_ns)
+        remote_sw = (self.nodes[addr.node].host_config.software_request_ns
+                     + self.NIC_WAKEUP_NS + self.REMOTE_BLOCKIO_NS)
+        breakdown = self._attribute(
+            src, addr.node, self.sim.now - t0,
+            software=software + self.ethernet.rpc_latency_ns + remote_sw)
+        return data, breakdown
+
+    def host_remote_dram(self, src: int, dst: int, page: int):
+        """H-D: like H-RH-F but served from the remote node's DRAM."""
+        node = self.nodes[src]
+        t0 = self.sim.now
+        yield self.sim.process(
+            node.cpu.compute(node.host_config.software_request_ns))
+        software = self.sim.now - t0
+        req_id = next(self._req_ids)
+        reply_ep = self._first_response_ep + (req_id % self.n_response_eps)
+        event = self.sim.event()
+        self._pending[req_id] = event
+        yield self.sim.process(self.ethernet.send(
+            src, dst,
+            {"kind": "dram", "page": page, "req_id": req_id,
+             "reply_ep": reply_ep, "requester": src},
+            _REQUEST_BYTES))
+        data = yield event
+        yield self.sim.process(node.pcie.device_to_host(self.page_size))
+        yield self.sim.timeout(node.host_config.interrupt_ns)
+        remote_sw = (self.nodes[dst].host_config.software_request_ns
+                     + self.NIC_WAKEUP_NS)
+        breakdown = self._attribute(
+            src, dst, self.sim.now - t0, storage_override=0,
+            software=software + self.ethernet.rpc_latency_ns + remote_sw)
+        return data, breakdown
+
+    # ------------------------------------------------------------------
+    def _attribute(self, src: int, dst: int, total: int, software: int,
+                   storage_override: Optional[int] = None
+                   ) -> LatencyBreakdown:
+        """Split a measured total into Figure 14's four components.
+
+        Storage is the device's first-byte latency (command + array
+        read); network is the propagation of request + response; the
+        rest of the measured time is data transfer.
+        """
+        timing = self.nodes[dst].flash_timing
+        storage = (storage_override if storage_override is not None
+                   else timing.cmd_overhead_ns + timing.t_read_ns)
+        hops = self.network.hop_count(src, dst) if src != dst else 0
+        network = 2 * hops * self.network.config.hop_latency_ns
+        transfer = max(0, total - software - storage - network)
+        return LatencyBreakdown(software=software, storage=storage,
+                                transfer=transfer, network=network)
+
+
+def _direct(n_nodes: int) -> Topology:
+    """Line topology for 1-2 node clusters (ring needs 3)."""
+    topo = Topology(n_nodes)
+    for i in range(n_nodes - 1):
+        topo.connect(i, i + 1)
+    return topo
+
+
+def _gen(generator):
+    """Adapter: run a plain generator as a subprocess-compatible one."""
+    result = yield from generator
+    return result

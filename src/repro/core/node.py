@@ -1,0 +1,116 @@
+"""One BlueDBM node (Figure 2): host server + storage device.
+
+Assembles, around a two-card :class:`~repro.flash.device.StorageDevice`:
+
+* a :class:`~repro.flash.splitter.FlashSplitter` multiplexing the flash
+  between the in-store processor, the host, and the network service;
+* a :class:`~repro.flash.server.FlashServer` (in-order streams + address
+  translation) for in-store processors;
+* the host side — CPU, PCIe link, and the RPC/DMA
+  :class:`~repro.host.iface.HostInterface`;
+* the on-board DRAM buffer;
+* an RFS file system instance and the FIFO accelerator scheduler.
+
+Network endpoints are attached by the cluster when it wires nodes into
+the storage fabric.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..devices import DRAMStore
+from ..flash import (
+    DEFAULT_GEOMETRY,
+    ErrorModel,
+    FlashGeometry,
+    FlashServer,
+    FlashSplitter,
+    FlashTiming,
+    PhysAddr,
+)
+from ..flash.device import StorageDevice
+from ..fs import RFS
+from ..host import (
+    AcceleratorScheduler,
+    HostConfig,
+    HostCPU,
+    HostInterface,
+    PCIeLink,
+)
+from ..sim import Simulator
+
+__all__ = ["BlueDBMNode"]
+
+
+class BlueDBMNode:
+    """A host server coupled with its BlueDBM storage device."""
+
+    def __init__(self, sim: Simulator, node_id: int = 0,
+                 geometry: FlashGeometry = DEFAULT_GEOMETRY,
+                 flash_timing: Optional[FlashTiming] = None,
+                 errors: Optional[ErrorModel] = None,
+                 host_config: Optional[HostConfig] = None,
+                 isp_queue_depth: int = 32,
+                 accelerator_units: int = 8,
+                 onboard_dram_gbs: float = 10.0,
+                 seed: int = 0):
+        self.sim = sim
+        self.node_id = node_id
+        self.geometry = geometry
+        self.host_config = host_config or HostConfig()
+        self.flash_timing = flash_timing or FlashTiming()
+
+        # Storage device: two custom flash cards with shared management.
+        self.device = StorageDevice(sim, geometry=geometry,
+                                    timing=flash_timing, errors=errors,
+                                    node=node_id, seed=seed)
+        self.splitter = FlashSplitter(sim, self.device)
+        # Port 0: local in-store processors; port 1: host software;
+        # port 2: remote requests arriving over the storage network.
+        self.isp_port = self.splitter.add_port()
+        self.host_port = self.splitter.add_port()
+        self.net_port = self.splitter.add_port()
+        self.flash_server = FlashServer(sim, self.isp_port,
+                                        queue_depth=isp_queue_depth)
+
+        # Host server.
+        self.cpu = HostCPU(sim, self.host_config)
+        self.pcie = PCIeLink(sim, self.host_config)
+        self.host = HostInterface(sim, self.host_config, self.cpu,
+                                  self.pcie, self.host_port,
+                                  geometry.page_size)
+
+        # On-board DRAM buffer (Figure 2's fourth service).
+        self.dram = DRAMStore(sim, page_size=geometry.page_size,
+                              bandwidth_gbs=onboard_dram_gbs)
+
+        # File system + accelerator sharing.
+        self.fs = RFS(sim, self.device)
+        self.scheduler = AcceleratorScheduler(sim, accelerator_units,
+                                              name=f"accel-n{node_id}")
+
+    # -- access paths -----------------------------------------------------
+    def isp_read(self, addr: PhysAddr):
+        """In-store processor read: no host software or PCIe involved."""
+        result = yield self.sim.process(self.isp_port.read_page(addr))
+        return result
+
+    def net_read(self, addr: PhysAddr):
+        """Read on behalf of a remote node (network service port)."""
+        result = yield self.sim.process(self.net_port.read_page(addr))
+        return result
+
+    def host_read(self, addr: PhysAddr, software_path: bool = True):
+        """Host software read: syscall + RPC + flash + DMA + interrupt."""
+        data = yield self.sim.process(
+            self.host.read_page(addr, software_path=software_path))
+        return data
+
+    def host_write(self, addr: PhysAddr, data: bytes):
+        """Host software write path."""
+        yield self.sim.process(self.host.write_page(addr, data))
+
+    def peak_flash_bandwidth(self) -> float:
+        """The node's native flash ceiling (2.4 GB/s with paper values)."""
+        return self.device.peak_read_bandwidth()

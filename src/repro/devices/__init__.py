@@ -1,0 +1,13 @@
+"""Baseline storage devices the paper compares against.
+
+* :class:`CommoditySSD` — the off-the-shelf M.2 SSD (600 MB/s,
+  sequential-optimized).
+* :class:`HardDisk` — seek + rotate + transfer spinning disk.
+* :class:`DRAMStore` — RAMCloud-style in-memory page store.
+"""
+
+from .dram import DRAMStore
+from .hdd import HardDisk
+from .ssd import CommoditySSD
+
+__all__ = ["CommoditySSD", "HardDisk", "DRAMStore"]

@@ -1,0 +1,49 @@
+"""Raw NAND flash substrate.
+
+Layers, bottom-up:
+
+* :mod:`~repro.flash.geometry` — chips/buses/blocks/pages addressing
+  (:class:`PhysAddr`), the cluster's global address space currency.
+* :mod:`~repro.flash.store` — sparse page payload store (real bytes).
+* :mod:`~repro.flash.ecc` — real SECDED codec (single-correct,
+  double-detect per 64-bit word).
+* :mod:`~repro.flash.health` — wear tracking and bad-block tables.
+* :mod:`~repro.flash.chip` — per-die timing, NAND program/erase rules,
+  wear-scaled bit-error injection.
+* :mod:`~repro.flash.controller` — the tagged, out-of-order,
+  error-corrected card controller (:class:`FlashCard`).
+* :mod:`~repro.flash.splitter` — multi-user access with tag renaming.
+* :mod:`~repro.flash.server` — Flash Server: in-order streaming interface
+  plus the Address Translation Unit for file-handle access.
+"""
+
+from .chip import ErrorModel, EraseError, FlashChip, FlashTiming, ProgramError
+from .controller import FlashCard, ReadResult, UncorrectablePageError
+from .ecc import UncorrectableError
+from .geometry import DEFAULT_GEOMETRY, FlashGeometry, PhysAddr
+from .health import BadBlockTable, WearTracker
+from .server import FileHandle, FlashServer
+from .splitter import FlashSplitter, SplitterPort
+from .store import PageStore
+
+__all__ = [
+    "FlashGeometry",
+    "PhysAddr",
+    "DEFAULT_GEOMETRY",
+    "PageStore",
+    "WearTracker",
+    "BadBlockTable",
+    "FlashTiming",
+    "ErrorModel",
+    "FlashChip",
+    "ProgramError",
+    "EraseError",
+    "FlashCard",
+    "ReadResult",
+    "UncorrectablePageError",
+    "UncorrectableError",
+    "FlashSplitter",
+    "SplitterPort",
+    "FlashServer",
+    "FileHandle",
+]

@@ -1,0 +1,195 @@
+"""Physical flash geometry and addressing.
+
+BlueDBM exposes *raw* NAND addressing — buses, chips, blocks and pages —
+instead of a flat logical block device (Section 3.1.1).  Everything above
+the chip (controller, Flash Server, FTL, file system, the cluster's global
+address space) speaks :class:`PhysAddr`.
+
+The default geometry matches the paper's custom flash card: 512 GB per
+card from 8 buses x 8 chips x 4096 blocks x 256 pages x 8 KB pages, two
+cards per node (1 TB/node, Section 5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["FlashGeometry", "PhysAddr", "DEFAULT_GEOMETRY"]
+
+
+@dataclass(frozen=True)
+class FlashGeometry:
+    """Shape of one flash card.
+
+    Attributes mirror the paper's custom card (Section 5.1).  All sizes in
+    bytes.  The geometry is per *card*; a node has ``cards_per_node`` of
+    them behind one storage device.
+    """
+
+    buses_per_card: int = 8
+    chips_per_bus: int = 8
+    blocks_per_chip: int = 4096
+    pages_per_block: int = 256
+    page_size: int = 8192
+    cards_per_node: int = 2
+
+    def __post_init__(self):
+        for name in ("buses_per_card", "chips_per_bus", "blocks_per_chip",
+                     "pages_per_block", "page_size", "cards_per_node"):
+            value = getattr(self, name)
+            if value < 1:
+                raise ValueError(f"{name} must be >= 1, got {value}")
+
+    # -- counts ----------------------------------------------------------
+    @property
+    def pages_per_chip(self) -> int:
+        return self.blocks_per_chip * self.pages_per_block
+
+    @property
+    def pages_per_bus(self) -> int:
+        return self.chips_per_bus * self.pages_per_chip
+
+    @property
+    def pages_per_card(self) -> int:
+        return self.buses_per_card * self.pages_per_bus
+
+    @property
+    def pages_per_node(self) -> int:
+        return self.cards_per_node * self.pages_per_card
+
+    @property
+    def blocks_per_card(self) -> int:
+        return (self.buses_per_card * self.chips_per_bus
+                * self.blocks_per_chip)
+
+    # -- capacities --------------------------------------------------------
+    @property
+    def card_bytes(self) -> int:
+        return self.pages_per_card * self.page_size
+
+    @property
+    def node_bytes(self) -> int:
+        return self.cards_per_node * self.card_bytes
+
+    # -- address arithmetic -------------------------------------------------
+    def linear_page(self, addr: "PhysAddr") -> int:
+        """Node-local linear page number for ``addr`` (ignores node id)."""
+        self.validate(addr)
+        return (((addr.card * self.buses_per_card + addr.bus)
+                 * self.chips_per_bus + addr.chip)
+                * self.pages_per_chip
+                + addr.block * self.pages_per_block
+                + addr.page)
+
+    def from_linear(self, linear: int, node: int = 0) -> "PhysAddr":
+        """Inverse of :meth:`linear_page`.
+
+        Consecutive linear pages stripe across pages within a block first;
+        use :meth:`striped` for bus-interleaved layouts.
+        """
+        if not 0 <= linear < self.pages_per_node:
+            raise ValueError(f"linear page {linear} out of range")
+        page = linear % self.pages_per_block
+        rest = linear // self.pages_per_block
+        block = rest % self.blocks_per_chip
+        rest //= self.blocks_per_chip
+        chip = rest % self.chips_per_bus
+        rest //= self.chips_per_bus
+        bus = rest % self.buses_per_card
+        card = rest // self.buses_per_card
+        return PhysAddr(node=node, card=card, bus=bus, chip=chip,
+                        block=block, page=page)
+
+    def striped(self, index: int, node: int = 0) -> "PhysAddr":
+        """Bus/chip-interleaved address for sequential index ``index``.
+
+        Maps consecutive indices round-robin over every chip before
+        advancing the page — *bus-fastest*, so even a short run of
+        consecutive pages spans every bus (and both cards).  This is how
+        a real controller stripes sequential data to expose parallelism
+        (Section 3.1.1 "(ii) exposing all degrees of parallelism"):
+        channel-first striping keeps all channels busy for any access
+        run, where chip-first striping would serialize short runs on one
+        bus.
+        """
+        if not 0 <= index < self.pages_per_node:
+            raise ValueError(f"striped index {index} out of range")
+        n_units = (self.cards_per_node * self.buses_per_card
+                   * self.chips_per_bus)
+        unit = index % n_units
+        offset = index // n_units
+        bus = unit % self.buses_per_card
+        rest = unit // self.buses_per_card
+        card = rest % self.cards_per_node
+        chip = rest // self.cards_per_node
+        block = offset // self.pages_per_block
+        page = offset % self.pages_per_block
+        return PhysAddr(node=node, card=card, bus=bus, chip=chip,
+                        block=block, page=page)
+
+    def validate(self, addr: "PhysAddr") -> None:
+        """Raise ValueError if ``addr`` exceeds this geometry."""
+        if not 0 <= addr.card < self.cards_per_node:
+            raise ValueError(f"card {addr.card} out of range")
+        if not 0 <= addr.bus < self.buses_per_card:
+            raise ValueError(f"bus {addr.bus} out of range")
+        if not 0 <= addr.chip < self.chips_per_bus:
+            raise ValueError(f"chip {addr.chip} out of range")
+        if not 0 <= addr.block < self.blocks_per_chip:
+            raise ValueError(f"block {addr.block} out of range")
+        if not 0 <= addr.page < self.pages_per_block:
+            raise ValueError(f"page {addr.page} out of range")
+
+    def iter_block_pages(self, addr: "PhysAddr") -> Iterator["PhysAddr"]:
+        """All page addresses within the block containing ``addr``."""
+        for page in range(self.pages_per_block):
+            yield PhysAddr(node=addr.node, card=addr.card, bus=addr.bus,
+                           chip=addr.chip, block=addr.block, page=page)
+
+
+@dataclass(frozen=True, order=True)
+class PhysAddr:
+    """A physical flash page address in the cluster's global address space.
+
+    ``node`` selects the BlueDBM storage device; the remaining fields
+    address raw NAND within it.  Frozen and ordered so addresses can key
+    dicts and sort deterministically.
+    """
+
+    node: int = 0
+    card: int = 0
+    bus: int = 0
+    chip: int = 0
+    block: int = 0
+    page: int = 0
+
+    def __post_init__(self):
+        for name in ("node", "card", "bus", "chip", "block", "page"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"negative {name} in address")
+
+    def block_addr(self) -> "PhysAddr":
+        """Address of page 0 of this page's block (erase granularity)."""
+        return PhysAddr(node=self.node, card=self.card, bus=self.bus,
+                        chip=self.chip, block=self.block, page=0)
+
+    def chip_key(self) -> tuple:
+        """Hashable identity of the chip holding this page."""
+        return (self.node, self.card, self.bus, self.chip)
+
+    def bus_key(self) -> tuple:
+        """Hashable identity of the bus holding this page."""
+        return (self.node, self.card, self.bus)
+
+    def at_node(self, node: int) -> "PhysAddr":
+        """Same card-local address on a different node."""
+        return PhysAddr(node=node, card=self.card, bus=self.bus,
+                        chip=self.chip, block=self.block, page=self.page)
+
+    def __str__(self) -> str:
+        return (f"n{self.node}/c{self.card}/b{self.bus}/ch{self.chip}"
+                f"/blk{self.block}/p{self.page}")
+
+
+DEFAULT_GEOMETRY = FlashGeometry()

@@ -1,0 +1,122 @@
+"""Flash health bookkeeping: wear (P/E cycles) and bad blocks.
+
+NAND "has limited program/erase cycles and frequent errors" (Section 3.1);
+the controller stack therefore tracks per-block erase counts, a factory
+bad-block list, and blocks that go bad in service.  The FTL's wear
+leveler and the chip model's error injector both consume this state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, Set, Tuple
+
+from .geometry import FlashGeometry, PhysAddr
+
+__all__ = ["WearTracker", "BadBlockTable"]
+
+_BlockKey = Tuple[int, int, int, int, int]
+
+
+def _block_key(addr: PhysAddr) -> _BlockKey:
+    return (addr.node, addr.card, addr.bus, addr.chip, addr.block)
+
+
+class WearTracker:
+    """Per-block program/erase cycle accounting.
+
+    ``endurance`` is the rated P/E cycle budget (default 3000, typical for
+    the era's MLC NAND).  Blocks past endurance are candidates for
+    retirement, and the chip error model scales its bit-error rate with
+    ``wear_fraction``.
+    """
+
+    def __init__(self, endurance: int = 3000):
+        if endurance < 1:
+            raise ValueError(f"endurance must be >= 1, got {endurance}")
+        self.endurance = endurance
+        self._erases: Dict[_BlockKey, int] = {}
+
+    def record_erase(self, addr: PhysAddr) -> int:
+        """Count one erase of ``addr``'s block; returns the new count."""
+        key = _block_key(addr)
+        count = self._erases.get(key, 0) + 1
+        self._erases[key] = count
+        return count
+
+    def erase_count(self, addr: PhysAddr) -> int:
+        return self._erases.get(_block_key(addr), 0)
+
+    def wear_fraction(self, addr: PhysAddr) -> float:
+        """Erase count relative to rated endurance (may exceed 1.0)."""
+        return self.erase_count(addr) / self.endurance
+
+    def is_worn_out(self, addr: PhysAddr) -> bool:
+        return self.erase_count(addr) >= self.endurance
+
+    @property
+    def total_erases(self) -> int:
+        return sum(self._erases.values())
+
+    @property
+    def max_erase_count(self) -> int:
+        return max(self._erases.values(), default=0)
+
+    @property
+    def min_erase_count_touched(self) -> int:
+        """Minimum erase count among blocks erased at least once."""
+        return min(self._erases.values(), default=0)
+
+
+class BadBlockTable:
+    """Factory and grown bad blocks.
+
+    Factory-bad blocks are chosen deterministically from a seed by hashing
+    the block identity, at a configurable rate (NAND datasheets allow up
+    to ~2 % factory-bad).  Grown bad blocks are added when the controller
+    sees uncorrectable errors or erase failures.
+    """
+
+    def __init__(self, geometry: FlashGeometry,
+                 factory_bad_rate: float = 0.0, seed: int = 0):
+        if not 0.0 <= factory_bad_rate < 1.0:
+            raise ValueError(
+                f"factory_bad_rate must be in [0, 1), got {factory_bad_rate}")
+        self.geometry = geometry
+        self.factory_bad_rate = factory_bad_rate
+        self.seed = seed
+        self._grown: Set[_BlockKey] = set()
+
+    def _factory_bad(self, key: _BlockKey) -> bool:
+        if self.factory_bad_rate <= 0.0:
+            return False
+        digest = hashlib.sha256(
+            f"{self.seed}:{key}".encode()).digest()
+        # First 8 bytes as a uniform fraction in [0, 1).
+        fraction = int.from_bytes(digest[:8], "big") / (1 << 64)
+        return fraction < self.factory_bad_rate
+
+    def is_bad(self, addr: PhysAddr) -> bool:
+        key = _block_key(addr)
+        return key in self._grown or self._factory_bad(key)
+
+    def mark_bad(self, addr: PhysAddr) -> None:
+        """Retire a block that failed in service (grown bad block)."""
+        self._grown.add(_block_key(addr))
+
+    @property
+    def grown_bad_count(self) -> int:
+        return len(self._grown)
+
+    def good_blocks(self, node: int, card: int,
+                    buses: Iterable[int] = None) -> Iterable[PhysAddr]:
+        """Yield block addresses (page 0) of all good blocks on a card."""
+        geo = self.geometry
+        bus_range = range(geo.buses_per_card) if buses is None else buses
+        for bus in bus_range:
+            for chip in range(geo.chips_per_bus):
+                for block in range(geo.blocks_per_chip):
+                    addr = PhysAddr(node=node, card=card, bus=bus,
+                                    chip=chip, block=block, page=0)
+                    if not self.is_bad(addr):
+                        yield addr

@@ -1,0 +1,101 @@
+"""Flash Interface Splitter: shared access with tag renaming.
+
+Multiple hardware endpoints need the one card interface — "local in-store
+processors, local host software over PCIe DMA, or remote in-store
+processors over the network" (Section 3.1.2, Figure 3).  Each user gets a
+:class:`SplitterPort` with its own private tag space; the splitter renames
+user tags onto the card's physical tags and guarantees fairness by
+capping how many physical tags one user may hold.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..sim import Counter, Resource, Simulator
+from .controller import FlashCard, ReadResult
+from .geometry import PhysAddr
+
+__all__ = ["FlashSplitter", "SplitterPort"]
+
+
+class SplitterPort:
+    """One user's view of the card: an independently-tagged interface."""
+
+    def __init__(self, splitter: "FlashSplitter", user_id: int,
+                 max_in_flight: int):
+        self.splitter = splitter
+        self.user_id = user_id
+        self._slots = Resource(splitter.sim, capacity=max_in_flight,
+                               name=f"splitter-user{user_id}")
+        self._next_user_tag = 0
+        self.reads = Counter(f"user{user_id}-reads")
+        self.writes = Counter(f"user{user_id}-writes")
+
+    def _rename(self) -> int:
+        """Allocate the next user-visible tag (monotonic per user)."""
+        tag = self._next_user_tag
+        self._next_user_tag += 1
+        return tag
+
+    def read_page(self, addr: PhysAddr):
+        """Read via the shared card; returns :class:`ReadResult` whose tag
+        is this user's renamed tag, not the card's physical tag."""
+        user_tag = self._rename()
+        yield self._slots.request()
+        try:
+            result = yield self.splitter.sim.process(
+                self.splitter.card.read_page(addr))
+        finally:
+            self._slots.release()
+        self.reads.add()
+        return ReadResult(result.addr, result.data, user_tag,
+                          result.corrected_bits)
+
+    def write_page(self, addr: PhysAddr, data: bytes):
+        yield self._slots.request()
+        try:
+            yield self.splitter.sim.process(
+                self.splitter.card.write_page(addr, data))
+        finally:
+            self._slots.release()
+        self.writes.add()
+
+    def erase_block(self, addr: PhysAddr):
+        yield self._slots.request()
+        try:
+            yield self.splitter.sim.process(
+                self.splitter.card.erase_block(addr))
+        finally:
+            self._slots.release()
+
+
+class FlashSplitter:
+    """Fans one flash target out to several tag-renamed users.
+
+    The target is anything exposing ``read_page``/``write_page``/
+    ``erase_block`` generators — a single :class:`FlashCard` or a whole
+    multi-card :class:`~repro.flash.device.StorageDevice`.
+
+    ``fair_share`` bounds each port's in-flight commands so one user
+    cannot exhaust the target's physical tag pool and starve the rest.
+    """
+
+    def __init__(self, sim: Simulator, card,
+                 fair_share: Optional[int] = None):
+        self.sim = sim
+        self.card = card  # the flash target (card or device)
+        self.fair_share = fair_share
+        self.ports: List[SplitterPort] = []
+
+    @property
+    def tag_count(self) -> int:
+        return getattr(self.card, "tag_count", 128)
+
+    def add_port(self, max_in_flight: Optional[int] = None) -> SplitterPort:
+        """Attach a new user; returns its private port."""
+        limit = max_in_flight or self.fair_share or self.tag_count
+        limit = min(limit, self.tag_count)
+        port = SplitterPort(self, len(self.ports), limit)
+        self.ports.append(port)
+        return port

@@ -1,0 +1,6 @@
+"""File system layer: RFS-style log-structured FS with physical-address
+queries for in-store processors (Section 4)."""
+
+from .rfs import RFS, Inode
+
+__all__ = ["RFS", "Inode"]

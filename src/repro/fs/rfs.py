@@ -1,0 +1,156 @@
+"""RFS-style log-structured flash file system (Section 4).
+
+"Unlike conventional FTL designs where the flash characteristics are
+hidden from the file system, RFS performs some functionality of an FTL,
+including logical-to-physical address mapping and garbage collection.
+This achieves better garbage collection efficiency at much lower memory
+requirement."
+
+Crucially for BlueDBM, the file system *knows where files physically
+live*: "user-level applications can query the file system for the
+physical locations of files on the flash ... Applications can then
+provide in-storage processors with a stream of physical addresses" —
+reproduced by :meth:`RFS.physical_extents`, which feeds the Flash
+Server's Address Translation Unit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..flash import PhysAddr
+from ..flash.device import StorageDevice
+from ..ftl.log import LogStructuredCore
+from ..sim import Simulator
+
+__all__ = ["RFS", "Inode"]
+
+
+class Inode:
+    """File metadata: name, byte size, and the logical pages backing it."""
+
+    __slots__ = ("name", "size", "lpns")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.size = 0
+        self.lpns: List[int] = []
+
+    @property
+    def num_pages(self) -> int:
+        return len(self.lpns)
+
+
+class RFS:
+    """A flat-namespace log-structured file system on raw flash."""
+
+    def __init__(self, sim: Simulator, device: StorageDevice,
+                 gc_low_watermark: int = 2):
+        self.sim = sim
+        self.device = device
+        self.core = LogStructuredCore(sim, device,
+                                      gc_low_watermark=gc_low_watermark)
+        self.page_size = device.geometry.page_size
+        self._files: Dict[str, Inode] = {}
+        self._next_lpn = 0
+
+    # -- namespace -----------------------------------------------------------
+    def create(self, name: str) -> Inode:
+        """Create an empty file; error if it exists."""
+        if name in self._files:
+            raise FileExistsError(f"file {name!r} already exists")
+        inode = Inode(name)
+        self._files[name] = inode
+        return inode
+
+    def exists(self, name: str) -> bool:
+        return name in self._files
+
+    def stat(self, name: str) -> Inode:
+        if name not in self._files:
+            raise FileNotFoundError(f"no such file: {name!r}")
+        return self._files[name]
+
+    def list_files(self) -> List[str]:
+        return sorted(self._files)
+
+    # -- data path (DES generators) -------------------------------------------
+    def write_file(self, name: str, data: bytes):
+        """Write ``data`` as the file's full contents (truncate + write)."""
+        inode = self._files.get(name) or self.create(name)
+        # Invalidate the old version's pages (log-structured overwrite).
+        for lpn in inode.lpns:
+            yield from self.core.trim_lpn(lpn)
+        inode.lpns = []
+        inode.size = len(data)
+        for offset in range(0, max(len(data), 1), self.page_size):
+            chunk = data[offset:offset + self.page_size]
+            lpn = self._next_lpn
+            self._next_lpn += 1
+            yield from self.core.write_lpn(lpn, chunk)
+            inode.lpns.append(lpn)
+
+    def append_page(self, name: str, data: bytes):
+        """Append one page worth of data (the log FS's natural unit)."""
+        if len(data) > self.page_size:
+            raise ValueError(
+                f"append_page takes at most {self.page_size} bytes")
+        inode = self.stat(name)
+        lpn = self._next_lpn
+        self._next_lpn += 1
+        yield from self.core.write_lpn(lpn, data)
+        inode.lpns.append(lpn)
+        inode.size += len(data)
+
+    def read_file(self, name: str):
+        """Read back a file's exact contents -> bytes."""
+        inode = self.stat(name)
+        chunks: List[bytes] = []
+        for lpn in inode.lpns:
+            data = yield from self.core.read_lpn(lpn)
+            chunks.append(data)
+        joined = b"".join(chunks)
+        return joined[:inode.size]
+
+    def read_page(self, name: str, page_index: int):
+        """Read one page of a file -> bytes (page-size padded)."""
+        inode = self.stat(name)
+        if not 0 <= page_index < len(inode.lpns):
+            raise IndexError(
+                f"page {page_index} out of range for {name!r}")
+        data = yield from self.core.read_lpn(inode.lpns[page_index])
+        return data
+
+    def delete(self, name: str):
+        """Delete a file, invalidating its pages for GC."""
+        inode = self.stat(name)
+        for lpn in inode.lpns:
+            yield from self.core.trim_lpn(lpn)
+        del self._files[name]
+
+    # -- the BlueDBM-specific query (Section 4, step 1) -----------------------
+    def physical_extents(self, name: str) -> List[PhysAddr]:
+        """Current physical page addresses of a file, in file order.
+
+        This is what applications hand to in-store processors; it stays
+        correct across GC because it is re-queried per job.
+        """
+        inode = self.stat(name)
+        extents = []
+        for lpn in inode.lpns:
+            addr = self.core.physical_of(lpn)
+            if addr is None:
+                raise RuntimeError(
+                    f"file {name!r} page lpn={lpn} has no mapping "
+                    f"(filesystem corruption)")
+            extents.append(addr)
+        return extents
+
+    # -- telemetry ---------------------------------------------------------------
+    @property
+    def write_amplification(self) -> float:
+        return self.core.write_amplification
+
+    @property
+    def gc_runs(self) -> int:
+        return self.core.gc_runs.value

@@ -1,0 +1,22 @@
+"""Host-side flash management (the paper moves the FTL out of the device).
+
+* :mod:`~repro.ftl.mapping` — L2P/P2L page map with validity tracking.
+* :mod:`~repro.ftl.allocator` — chip-striped, wear-aware block allocation.
+* :mod:`~repro.ftl.log` — shared log-structured core (writes + greedy GC).
+* :mod:`~repro.ftl.ftl` — :class:`BlockDeviceFTL`, the compatibility
+  block-device path.
+"""
+
+from .allocator import BlockAllocator
+from .ftl import BlockDeviceFTL
+from .log import LogStructuredCore, OutOfSpaceError
+from .mapping import BlockState, PageMap
+
+__all__ = [
+    "PageMap",
+    "BlockState",
+    "BlockAllocator",
+    "LogStructuredCore",
+    "OutOfSpaceError",
+    "BlockDeviceFTL",
+]

@@ -1,0 +1,117 @@
+"""Physical block allocation with chip-striping and wear awareness.
+
+The allocator hands out *write points* — (block, next page) cursors — in
+round-robin order across every chip of the device, so that sequential
+logical writes land on different buses/chips and program in parallel
+(the "exposing all degrees of parallelism" goal of Section 3.1.1).
+
+Free blocks per chip are kept wear-sorted: taking the least-erased block
+first is the static wear-leveling policy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..flash import BadBlockTable, FlashGeometry, PhysAddr, WearTracker
+
+__all__ = ["BlockAllocator"]
+
+_ChipKey = Tuple[int, int, int, int]
+
+
+class BlockAllocator:
+    """Free-block lists and rotating write points for one flash device."""
+
+    def __init__(self, geometry: FlashGeometry, badblocks: BadBlockTable,
+                 wear: WearTracker, node: int = 0,
+                 cards: Optional[List[int]] = None):
+        self.geometry = geometry
+        self.badblocks = badblocks
+        self.wear = wear
+        self.node = node
+        self.cards = cards if cards is not None else list(
+            range(geometry.cards_per_node))
+        self._free: Dict[_ChipKey, List[int]] = {}
+        self._chips: List[_ChipKey] = []
+        # Bus-fastest rotation: consecutive allocations land on different
+        # buses, so short sequential runs still engage every channel.
+        for chip in range(geometry.chips_per_bus):
+            for card in self.cards:
+                for bus in range(geometry.buses_per_card):
+                    key = (node, card, bus, chip)
+                    self._chips.append(key)
+                    blocks = [
+                        b for b in range(geometry.blocks_per_chip)
+                        if not badblocks.is_bad(PhysAddr(
+                            node=node, card=card, bus=bus, chip=chip,
+                            block=b))
+                    ]
+                    self._free[key] = blocks
+        self._rr = 0  # round-robin cursor over chips
+        # Open write point per chip: (block, next_page).
+        self._open: Dict[_ChipKey, Optional[Tuple[int, int]]] = {
+            key: None for key in self._chips}
+
+    # -- free space --------------------------------------------------------
+    @property
+    def free_blocks(self) -> int:
+        return sum(len(blocks) for blocks in self._free.values())
+
+    @property
+    def total_good_blocks(self) -> int:
+        return self.free_blocks + sum(
+            1 for open_ in self._open.values() if open_ is not None)
+
+    def _take_block(self, key: _ChipKey) -> Optional[int]:
+        """Pop the least-worn free block of a chip (wear leveling)."""
+        blocks = self._free.get(key)
+        if not blocks:
+            return None
+        node, card, bus, chip = key
+        blocks.sort(key=lambda b: self.wear.erase_count(PhysAddr(
+            node=node, card=card, bus=bus, chip=chip, block=b)))
+        return blocks.pop(0)
+
+    # -- write point allocation ----------------------------------------------
+    def next_page(self) -> Optional[PhysAddr]:
+        """The next physical page to program, striped across chips.
+
+        Returns None when the device is out of free space (caller must
+        garbage collect).
+        """
+        for _ in range(len(self._chips)):
+            key = self._chips[self._rr]
+            self._rr = (self._rr + 1) % len(self._chips)
+            open_ = self._open[key]
+            if open_ is None:
+                block = self._take_block(key)
+                if block is None:
+                    continue
+                open_ = (block, 0)
+            block, page = open_
+            node, card, bus, chip = key
+            addr = PhysAddr(node=node, card=card, bus=bus, chip=chip,
+                            block=block, page=page)
+            page += 1
+            self._open[key] = (None if page >= self.geometry.pages_per_block
+                               else (block, page))
+            return addr
+        return None
+
+    def release_block(self, addr: PhysAddr) -> None:
+        """Return an erased block to its chip's free list."""
+        key = (addr.node, addr.card, addr.bus, addr.chip)
+        if key not in self._free:
+            raise ValueError(f"{addr} not managed by this allocator")
+        if addr.block in self._free[key]:
+            raise ValueError(f"block {addr.block} already free")
+        if not self.badblocks.is_bad(addr):
+            self._free[key].append(addr.block)
+
+    def retire_block(self, addr: PhysAddr) -> None:
+        """Drop a grown-bad block from circulation permanently."""
+        key = (addr.node, addr.card, addr.bus, addr.chip)
+        blocks = self._free.get(key)
+        if blocks and addr.block in blocks:
+            blocks.remove(addr.block)

@@ -1,0 +1,70 @@
+"""Host CPU timing model: a 24-core Xeon server (Section 5).
+
+Application software runs as worker processes that claim a core for each
+compute slice; the model tracks utilization so Figure 21's CPU columns
+can be reproduced.  Host DRAM is modeled as a shared bandwidth pool with
+a fixed access latency — enough to express both the "DRAM-resident data
+is very fast" and the "DRAM bandwidth eventually bottlenecks many
+threads" behaviours of Figures 16-17.
+"""
+
+from __future__ import annotations
+
+from ..sim import Resource, Simulator, UtilizationTracker, units
+from .config import HostConfig
+
+__all__ = ["HostCPU"]
+
+
+class HostCPU:
+    """Cores + DRAM of one host server."""
+
+    def __init__(self, sim: Simulator, config: HostConfig):
+        self.sim = sim
+        self.config = config
+        self.cores = Resource(sim, capacity=config.n_cores, name="cores")
+        self._dram = Resource(sim, capacity=1, name="dram")
+        self.tracker = UtilizationTracker(sim, "cpu")
+
+    def compute(self, duration_ns: int):
+        """Run ``duration_ns`` of work on one core (DES generator).
+
+        Blocks while all cores are busy — this is what makes software
+        baselines compute-bound at high thread counts.
+        """
+        if duration_ns < 0:
+            raise ValueError("negative compute duration")
+        yield self.cores.request()
+        try:
+            yield self.sim.timeout(duration_ns)
+            self.tracker.busy(duration_ns)
+        finally:
+            self.cores.release()
+
+    def dram_read(self, num_bytes: int):
+        """Fetch ``num_bytes`` from host DRAM (DES generator).
+
+        Models shared-bandwidth contention: concurrent readers serialize
+        on the memory controller.  The fixed latency covers the cache-miss
+        path.
+        """
+        if num_bytes < 0:
+            raise ValueError("negative read size")
+        yield self._dram.request()
+        try:
+            yield self.sim.timeout(units.transfer_ns(
+                num_bytes, self.config.dram_gbs))
+        finally:
+            self._dram.release()
+        yield self.sim.timeout(self.config.dram_latency_ns)
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of one core-equivalent busy over the window so far.
+
+        Normalized to the full socket: 1.0 means all cores pegged.
+        """
+        window = self.sim.now
+        if window <= 0:
+            return 0.0
+        return min(1.0, self.tracker.busy_ns / (window * self.config.n_cores))

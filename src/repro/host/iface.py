@@ -1,0 +1,98 @@
+"""Host interface facade: what host *software* pays to touch flash.
+
+Composes the whole Section 3.3 / Figure 7 path for one request:
+
+reads:  syscall+driver -> free read buffer -> RPC -> flash (tagged read)
+        -> DMA burst(s) into the buffer -> completion interrupt
+writes: syscall+driver -> free write buffer -> data copy + RPC ->
+        DMA to device -> flash program -> ack
+
+The in-store processor path skips everything except the flash access —
+that difference is the core of Figures 12, 19, and 21.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..flash import PhysAddr, ReadResult
+from ..flash.splitter import SplitterPort
+from ..sim import Counter, LatencyStats, Simulator
+from .buffers import PageBufferPool
+from .config import HostConfig
+from .cpu import HostCPU
+from .pcie import PCIeLink
+
+__all__ = ["HostInterface"]
+
+
+class HostInterface:
+    """Software's RPC + DMA window onto the local storage device."""
+
+    def __init__(self, sim: Simulator, config: HostConfig, cpu: HostCPU,
+                 pcie: PCIeLink, port: SplitterPort, page_size: int):
+        self.sim = sim
+        self.config = config
+        self.cpu = cpu
+        self.pcie = pcie
+        self.port = port
+        self.page_size = page_size
+        self.read_buffers = PageBufferPool(sim, config.read_buffers,
+                                           "read-buffers")
+        self.write_buffers = PageBufferPool(sim, config.write_buffers,
+                                            "write-buffers")
+        self.read_latency = LatencyStats("host-read")
+        self.write_latency = LatencyStats("host-write")
+        self.reads = Counter("host-reads")
+        self.writes = Counter("host-writes")
+
+    def read_page(self, addr: PhysAddr, software_path: bool = True):
+        """Read one flash page into host memory (DES generator).
+
+        ``software_path=False`` models a request issued by an already-
+        running kernel-bypass loop (no per-request syscall/driver cost) —
+        used by baselines that batch requests.
+        Returns the corrected page data.
+        """
+        start = self.sim.now
+        if software_path:
+            yield self.sim.process(
+                self.cpu.compute(self.config.software_request_ns))
+        buffer_index = yield self.sim.process(self.read_buffers.acquire())
+        try:
+            yield self.sim.timeout(self.config.rpc_ns)
+            result: ReadResult = yield self.sim.process(
+                self.port.read_page(addr))
+            yield self.sim.process(
+                self.pcie.device_to_host(self.page_size))
+            yield self.sim.timeout(self.config.interrupt_ns)
+        finally:
+            self.read_buffers.release(buffer_index)
+        self.reads.add()
+        self.read_latency.record(self.sim.now - start)
+        return result.data
+
+    def write_page(self, addr: PhysAddr, data: bytes,
+                   software_path: bool = True):
+        """Write one page from host memory to flash (DES generator)."""
+        start = self.sim.now
+        if software_path:
+            yield self.sim.process(
+                self.cpu.compute(self.config.software_request_ns))
+        buffer_index = yield self.sim.process(self.write_buffers.acquire())
+        try:
+            yield self.sim.timeout(self.config.rpc_ns)
+            yield self.sim.process(
+                self.pcie.host_to_device(self.page_size))
+            yield self.sim.process(self.port.write_page(addr, data))
+        finally:
+            self.write_buffers.release(buffer_index)
+        self.writes.add()
+        self.write_latency.record(self.sim.now - start)
+
+    def erase_block(self, addr: PhysAddr):
+        """Erase a block (driver-initiated; DES generator)."""
+        yield self.sim.process(
+            self.cpu.compute(self.config.software_request_ns))
+        yield self.sim.timeout(self.config.rpc_ns)
+        yield self.sim.process(self.port.erase_block(addr))

@@ -1,0 +1,67 @@
+"""PCIe link model (Connectal Gen 1 endpoint, Sections 5 and 5.3).
+
+The link is full duplex with asymmetric measured bandwidth: 1.6 GB/s
+device-to-host and 1.0 GB/s host-to-device.  Each direction serializes
+transfers; multiple DMA engines allow several outstanding requests to
+queue without software involvement, but wire time is what bounds
+throughput — exactly the ceiling visible in Figure 13's Host-Local bar.
+"""
+
+from __future__ import annotations
+
+from ..sim import BandwidthMeter, Resource, Simulator, units
+from .config import HostConfig
+
+__all__ = ["PCIeLink"]
+
+
+class PCIeLink:
+    """The host <-> storage-device link."""
+
+    def __init__(self, sim: Simulator, config: HostConfig):
+        self.sim = sim
+        self.config = config
+        self._to_host_wire = Resource(sim, capacity=1, name="pcie-d2h")
+        self._to_dev_wire = Resource(sim, capacity=1, name="pcie-h2d")
+        self._read_engines = Resource(sim, capacity=config.dma_engines,
+                                      name="dma-read-engines")
+        self._write_engines = Resource(sim, capacity=config.dma_engines,
+                                       name="dma-write-engines")
+        self.to_host_meter = BandwidthMeter(sim, "pcie-d2h")
+        self.to_dev_meter = BandwidthMeter(sim, "pcie-h2d")
+
+    def device_to_host(self, num_bytes: int):
+        """DMA ``num_bytes`` from the device into host DRAM (generator)."""
+        if num_bytes < 0:
+            raise ValueError("negative transfer size")
+        yield self._read_engines.request()
+        try:
+            yield self._to_host_wire.request()
+            try:
+                self.to_host_meter.record(0)
+                yield self.sim.timeout(units.transfer_ns(
+                    num_bytes, self.config.pcie_dev_to_host_gbs))
+                self.to_host_meter.record(num_bytes)
+            finally:
+                self._to_host_wire.release()
+            yield self.sim.timeout(self.config.pcie_latency_ns)
+        finally:
+            self._read_engines.release()
+
+    def host_to_device(self, num_bytes: int):
+        """DMA ``num_bytes`` from host DRAM to the device (generator)."""
+        if num_bytes < 0:
+            raise ValueError("negative transfer size")
+        yield self._write_engines.request()
+        try:
+            yield self._to_dev_wire.request()
+            try:
+                self.to_dev_meter.record(0)
+                yield self.sim.timeout(units.transfer_ns(
+                    num_bytes, self.config.pcie_host_to_dev_gbs))
+                self.to_dev_meter.record(num_bytes)
+            finally:
+                self._to_dev_wire.release()
+            yield self.sim.timeout(self.config.pcie_latency_ns)
+        finally:
+            self._write_engines.release()

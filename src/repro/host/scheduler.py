@@ -1,0 +1,65 @@
+"""Accelerator-sharing scheduler (Section 4).
+
+"It is also very common that multiple instances of a user application may
+compete for the same hardware acceleration units.  For efficient sharing
+of hardware resources, BlueDBM runs a scheduler that assigns available
+hardware-acceleration units to competing user-applications.  In our
+implementation, a simple FIFO-based policy is used."
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Tuple
+
+from ..sim import Event, LatencyStats, Simulator
+
+__all__ = ["AcceleratorScheduler"]
+
+
+class AcceleratorScheduler:
+    """FIFO assignment of ``n_units`` identical accelerator units."""
+
+    def __init__(self, sim: Simulator, n_units: int, name: str = "accel"):
+        if n_units < 1:
+            raise ValueError(f"need at least one unit, got {n_units}")
+        self.sim = sim
+        self.name = name
+        self.n_units = n_units
+        self._free: Deque[int] = deque(range(n_units))
+        self._waiters: Deque[Tuple[Event, str, int]] = deque()
+        self.wait_stats = LatencyStats(f"{name}-wait")
+        self.grants: Dict[str, int] = {}
+
+    def acquire(self, app_id: str):
+        """Claim a unit for ``app_id`` (DES generator -> unit index)."""
+        event = Event(self.sim)
+        self._waiters.append((event, app_id, self.sim.now))
+        self._dispatch()
+        unit = yield event
+        return unit
+
+    def release(self, unit: int) -> None:
+        """Return a unit to the pool."""
+        if not 0 <= unit < self.n_units:
+            raise ValueError(f"unit {unit} out of range")
+        if unit in self._free:
+            raise ValueError(f"unit {unit} is already free")
+        self._free.append(unit)
+        self._dispatch()
+
+    def _dispatch(self) -> None:
+        while self._waiters and self._free:
+            event, app_id, enqueued = self._waiters.popleft()
+            unit = self._free.popleft()
+            self.wait_stats.record(self.sim.now - enqueued)
+            self.grants[app_id] = self.grants.get(app_id, 0) + 1
+            event.succeed(unit)
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._waiters)
+
+    @property
+    def units_free(self) -> int:
+        return len(self._free)

@@ -1,0 +1,78 @@
+"""Host-side Ethernet baseline (what BlueDBM's integrated network avoids).
+
+The paper: "we could have also measured the accesses to remote servers via
+Ethernet, but that latency is at least 100x of the integrated network"
+(Section 6.4).  The baseline configurations (H-RH-F, RAMCloud-style
+DRAM+miss experiments) route requests through remote *host software* over
+a conventional NIC and kernel stack; this model captures that cost:
+
+* fixed per-message software/NIC/kernel latency (default 50 µs one way —
+  a fast kernel TCP stack of the era; ~100x the 0.48 µs hop),
+* 10 GbE serialization,
+* FIFO per (src, dst) ordering.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from ..sim import Counter, Resource, Simulator, Store, units
+from .endpoint import Message
+
+__all__ = ["EthernetFabric"]
+
+
+class EthernetFabric:
+    """A conventional datacenter network between host servers."""
+
+    def __init__(self, sim: Simulator, n_nodes: int,
+                 rpc_latency_ns: int = 45 * units.US,
+                 link_gbps: float = 10.0):
+        if n_nodes < 1:
+            raise ValueError("need at least one node")
+        if rpc_latency_ns < 0:
+            raise ValueError("negative rpc latency")
+        self.sim = sim
+        self.n_nodes = n_nodes
+        self.rpc_latency_ns = rpc_latency_ns
+        self.bytes_per_ns = units.gbps_to_bytes_per_ns(link_gbps)
+        # One NIC per node serializes its outbound traffic.
+        self._nics = [Resource(sim, capacity=1, name=f"nic-{n}")
+                      for n in range(n_nodes)]
+        self._queues: Dict[int, Store] = {
+            n: Store(sim, name=f"eth-q{n}") for n in range(n_nodes)}
+        self.messages = Counter("eth-messages")
+
+    def send(self, src: int, dst: int, payload: Any, payload_bytes: int):
+        """Send a message host-to-host (DES generator).
+
+        Completes when the message is on the wire; delivery happens after
+        the software + propagation latency.
+        """
+        self._check(src)
+        self._check(dst)
+        nic = self._nics[src]
+        yield nic.request()
+        try:
+            yield self.sim.timeout(
+                units.transfer_ns(payload_bytes, self.bytes_per_ns))
+        finally:
+            nic.release()
+        self.sim.process(self._deliver(src, dst, payload, payload_bytes),
+                         name="eth-deliver")
+        self.messages.add()
+
+    def _deliver(self, src: int, dst: int, payload: Any,
+                 payload_bytes: int):
+        yield self.sim.timeout(self.rpc_latency_ns)
+        yield self._queues[dst].put(Message(src, payload, payload_bytes))
+
+    def receive(self, node: int):
+        """Receive the next message addressed to ``node`` (generator)."""
+        self._check(node)
+        message = yield self._queues[node].get()
+        return message
+
+    def _check(self, node: int) -> None:
+        if not 0 <= node < self.n_nodes:
+            raise ValueError(f"node {node} out of range")

@@ -1,0 +1,50 @@
+"""Discrete-event simulation kernel used by every BlueDBM model.
+
+Public surface:
+
+* :class:`~repro.sim.core.Simulator` — the event loop (integer ns clock).
+* :class:`~repro.sim.core.Event`, :class:`~repro.sim.core.Process` —
+  event/coroutine primitives.
+* :mod:`~repro.sim.resources` — FIFO stores, counted resources, credit
+  pools (token flow control), gates.
+* :mod:`~repro.sim.stats` — counters, latency stats, bandwidth meters.
+* :mod:`~repro.sim.units` — ns/µs/GB/Gbps conversion helpers.
+"""
+
+from .core import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from .resources import CreditPool, Gate, Resource, Store
+from .stats import BandwidthMeter, Counter, LatencyStats, UtilizationTracker
+from .trace import Probe, TraceRecord, Tracer
+from . import units
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+    "Store",
+    "Resource",
+    "CreditPool",
+    "Gate",
+    "Counter",
+    "LatencyStats",
+    "BandwidthMeter",
+    "UtilizationTracker",
+    "Tracer",
+    "TraceRecord",
+    "Probe",
+    "units",
+]

@@ -1,0 +1,383 @@
+"""Discrete-event simulation kernel.
+
+This module provides the event loop that every timing model in the
+reproduction runs on.  It is deliberately small and SimPy-flavoured:
+*processes* are Python generators that ``yield`` :class:`Event` objects and
+are resumed when those events trigger.
+
+Time is kept in integer **nanoseconds** so that scheduling is exact and
+deterministic; helpers in :mod:`repro.sim.units` convert to and from the
+microsecond/GB-per-second quantities the paper reports.
+
+Example
+-------
+>>> sim = Simulator()
+>>> log = []
+>>> def worker(sim):
+...     yield sim.timeout(100)
+...     log.append(sim.now)
+>>> _ = sim.process(worker(sim))
+>>> sim.run()
+>>> log
+[100]
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Simulator",
+    "SimulationError",
+    "Interrupt",
+]
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel (not model errors)."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence at a point in simulated time.
+
+    An event starts *pending*, becomes *triggered* once scheduled with a
+    value, and is *processed* after its callbacks have run.  Processes wait
+    on events by yielding them.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_processed")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[list] = []
+        self._value: Any = None
+        self._ok = True
+        self._triggered = False
+        self._processed = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """False if the event carries an exception instead of a value."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The value the event fired with (or its exception)."""
+        if not self._triggered:
+            raise SimulationError("value of untriggered event")
+        return self._value
+
+    def succeed(self, value: Any = None, delay: int = 0) -> "Event":
+        """Trigger the event successfully after ``delay`` ns."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._triggered = True
+        self._value = value
+        self.sim._schedule(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: int = 0) -> "Event":
+        """Trigger the event with an exception; waiters will see it raised."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._triggered = True
+        self._ok = False
+        self._value = exception
+        self.sim._schedule(self, delay)
+        return self
+
+    def __repr__(self) -> str:
+        state = "processed" if self._processed else (
+            "triggered" if self._triggered else "pending")
+        return f"<{type(self).__name__} {state} at t={self.sim.now}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` nanoseconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: int, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._triggered = True
+        self._value = value
+        sim._schedule(self, delay)
+
+
+class Process(Event):
+    """A running coroutine; itself an event that fires when it returns.
+
+    The wrapped generator yields :class:`Event` objects.  When a yielded
+    event triggers, the generator is resumed with the event's value (or the
+    event's exception is thrown into it).
+    """
+
+    __slots__ = ("_generator", "_waiting_on", "name")
+
+    def __init__(self, sim: "Simulator", generator: Generator,
+                 name: str = ""):
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                f"Process requires a generator, got {type(generator).__name__}"
+            )
+        super().__init__(sim)
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        bootstrap = Event(sim)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self._triggered:
+            raise SimulationError("cannot interrupt a finished process")
+        wake = Event(self.sim)
+        wake._ok = False
+        wake._value = Interrupt(cause)
+        wake._triggered = True
+        wake.callbacks.append(self._resume)
+        # Detach from whatever we were waiting on; that event may still
+        # fire later but must no longer resume us.
+        target = self._waiting_on
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = None
+        self.sim._schedule(wake, 0)
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        sim = self.sim
+        sim._active_process = self
+        try:
+            if event._ok:
+                result = self._generator.send(event._value)
+            else:
+                result = self._generator.throw(event._value)
+        except StopIteration as stop:
+            sim._active_process = None
+            self._triggered = True
+            self._value = stop.value
+            sim._schedule(self, 0)
+            return
+        except BaseException as exc:
+            sim._active_process = None
+            self._triggered = True
+            self._ok = False
+            self._value = exc
+            if not self.callbacks:
+                # Nobody is waiting on this process: crash the simulation
+                # rather than silently swallow the error.
+                raise
+            sim._schedule(self, 0)
+            return
+        sim._active_process = None
+        if not isinstance(result, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {result!r}, expected an Event"
+            )
+        if result.callbacks is None:
+            # Already processed: resume immediately at the current time.
+            wake = Event(sim)
+            wake._ok = result._ok
+            wake._value = result._value
+            wake._triggered = True
+            wake.callbacks.append(self._resume)
+            sim._schedule(wake, 0)
+        else:
+            self._waiting_on = result
+            result.callbacks.append(self._resume)
+
+
+class _Condition(Event):
+    """Base for AllOf/AnyOf composite events."""
+
+    __slots__ = ("events", "_count")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        self._count = 0
+        if not self.events:
+            self.succeed({})
+            return
+        for ev in self.events:
+            if ev.callbacks is None:
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+
+    def _check(self, event: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _results(self) -> dict:
+        return {
+            i: ev._value
+            for i, ev in enumerate(self.events)
+            if ev._triggered
+        }
+
+
+class AllOf(_Condition):
+    """Fires when every constituent event has fired."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._count == len(self.events):
+            self.succeed(self._results())
+
+
+class AnyOf(_Condition):
+    """Fires as soon as any constituent event fires."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self.succeed(self._results())
+
+
+class Simulator:
+    """The event loop: a priority queue of (time, tiebreak, event).
+
+    All model components share one :class:`Simulator`; its :attr:`now` is
+    the global clock in nanoseconds.
+    """
+
+    def __init__(self):
+        self._queue: list = []
+        self._eid = itertools.count()
+        self._now = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    # -- event construction helpers ------------------------------------
+    def event(self) -> Event:
+        """A fresh pending event, to be succeeded/failed by a model."""
+        return Event(self)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        """An event firing ``delay`` ns from now."""
+        return Timeout(self, int(delay), value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Register ``generator`` as a concurrently-running process."""
+        return Process(self, generator, name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Composite event firing when all of ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Composite event firing when the first of ``events`` fires."""
+        return AnyOf(self, events)
+
+    # -- scheduling / main loop ----------------------------------------
+    def _schedule(self, event: Event, delay: int) -> None:
+        heapq.heappush(self._queue, (self._now + delay, next(self._eid), event))
+
+    def peek(self) -> Optional[int]:
+        """Time of the next scheduled event, or None if the queue is empty."""
+        return self._queue[0][0] if self._queue else None
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        when, _, event = heapq.heappop(self._queue)
+        if when < self._now:
+            raise SimulationError("time went backwards")
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        event._processed = True
+        for callback in callbacks:
+            callback(event)
+
+    def run(self, until: Optional[int] = None) -> None:
+        """Run until the queue drains or the clock reaches ``until`` ns."""
+        if until is not None and until < self._now:
+            raise SimulationError(
+                f"run(until={until}) is in the past (now={self._now})")
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                self._now = until
+                return
+            self.step()
+        if until is not None:
+            self._now = until
+
+    def run_process(self, generator: Generator, name: str = "") -> Any:
+        """Convenience: run ``generator`` to completion and return its value.
+
+        Raises the process's exception if it failed.  Other concurrently
+        registered processes keep running as usual.
+        """
+        proc = self.process(generator, name)
+        self.run()
+        if not proc.triggered:
+            raise SimulationError(
+                f"process {proc.name!r} deadlocked (event queue drained)")
+        if not proc.ok:
+            raise proc._value
+        return proc._value

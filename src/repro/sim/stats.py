@@ -1,0 +1,168 @@
+"""Measurement utilities: counters, latency stats, bandwidth meters.
+
+Benchmarks reproduce the paper's figures from these collectors; they are
+deliberately simple so a reader can audit what each reported number means.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from .core import Simulator
+from .units import bandwidth_gbps, bandwidth_gbytes
+
+__all__ = ["Counter", "LatencyStats", "BandwidthMeter", "UtilizationTracker"]
+
+
+class Counter:
+    """A named monotonically-increasing counter."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter decrement not allowed ({amount})")
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class LatencyStats:
+    """Collects latency samples (ns) and reports summary statistics."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.samples: List[int] = []
+
+    def record(self, latency_ns: int) -> None:
+        if latency_ns < 0:
+            raise ValueError(f"negative latency {latency_ns}")
+        self.samples.append(latency_ns)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def minimum(self) -> int:
+        return min(self.samples) if self.samples else 0
+
+    @property
+    def maximum(self) -> int:
+        return max(self.samples) if self.samples else 0
+
+    @property
+    def stddev(self) -> float:
+        n = len(self.samples)
+        if n < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(sum((s - mu) ** 2 for s in self.samples) / (n - 1))
+
+    def percentile(self, p: float) -> float:
+        """Linear-interpolated percentile, p in [0, 100]."""
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile {p} out of range")
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        if len(ordered) == 1:
+            return float(ordered[0])
+        rank = (p / 100) * (len(ordered) - 1)
+        lo = int(math.floor(rank))
+        hi = int(math.ceil(rank))
+        if lo == hi:
+            return float(ordered[lo])
+        frac = rank - lo
+        return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean_ns": self.mean,
+            "min_ns": float(self.minimum),
+            "max_ns": float(self.maximum),
+            "p50_ns": self.percentile(50),
+            "p99_ns": self.percentile(99),
+        }
+
+
+class BandwidthMeter:
+    """Tracks bytes moved over a window of simulated time."""
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self.total_bytes = 0
+        self.start_ns: Optional[int] = None
+        self.last_ns: Optional[int] = None
+
+    def record(self, num_bytes: int) -> None:
+        """Record ``num_bytes`` transferred at the current sim time."""
+        if num_bytes < 0:
+            raise ValueError(f"negative byte count {num_bytes}")
+        now = self.sim.now
+        if self.start_ns is None:
+            self.start_ns = now
+        self.last_ns = now
+        self.total_bytes += num_bytes
+
+    @property
+    def elapsed_ns(self) -> int:
+        if self.start_ns is None or self.last_ns is None:
+            return 0
+        return self.last_ns - self.start_ns
+
+    def gbytes_per_sec(self, elapsed_ns: Optional[int] = None) -> float:
+        """Observed GB/s over the measured (or supplied) window."""
+        window = self.elapsed_ns if elapsed_ns is None else elapsed_ns
+        return bandwidth_gbytes(self.total_bytes, window)
+
+    def gbits_per_sec(self, elapsed_ns: Optional[int] = None) -> float:
+        """Observed Gbps over the measured (or supplied) window."""
+        window = self.elapsed_ns if elapsed_ns is None else elapsed_ns
+        return bandwidth_gbps(self.total_bytes, window)
+
+
+class UtilizationTracker:
+    """Tracks busy time of a component (e.g. a host CPU core).
+
+    Call :meth:`busy` for each busy interval; :meth:`utilization` reports
+    busy/elapsed over the observation window.
+    """
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self.busy_ns = 0
+        self._window_start = sim.now
+
+    def busy(self, duration_ns: int) -> None:
+        if duration_ns < 0:
+            raise ValueError(f"negative busy duration {duration_ns}")
+        self.busy_ns += duration_ns
+
+    def reset(self) -> None:
+        self.busy_ns = 0
+        self._window_start = self.sim.now
+
+    def utilization(self, elapsed_ns: Optional[int] = None) -> float:
+        """Fraction of the window spent busy, clamped to [0, 1]."""
+        window = (self.sim.now - self._window_start
+                  if elapsed_ns is None else elapsed_ns)
+        if window <= 0:
+            return 0.0
+        return min(1.0, self.busy_ns / window)

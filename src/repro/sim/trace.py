@@ -1,0 +1,104 @@
+"""Simulation tracing: timestamped event records for debugging models.
+
+A :class:`Tracer` collects (time, component, event, detail) records from
+instrumented models and can render a timeline or per-component summary.
+Models don't require a tracer — they accept an optional one, or tests
+attach probes themselves.  :class:`Probe` wraps any DES generator to
+record its start/end without modifying the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from .core import Simulator
+from .units import to_us
+
+__all__ = ["TraceRecord", "Tracer", "Probe"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One timeline entry."""
+
+    time_ns: int
+    component: str
+    event: str
+    detail: Any = None
+
+    def render(self) -> str:
+        detail = "" if self.detail is None else f"  {self.detail}"
+        return (f"[{to_us(self.time_ns):12.3f} us] "
+                f"{self.component:24s} {self.event}{detail}")
+
+
+class Tracer:
+    """Bounded in-memory trace collector."""
+
+    def __init__(self, sim: Simulator, capacity: int = 100_000):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.records: List[TraceRecord] = []
+        self.dropped = 0
+
+    def record(self, component: str, event: str,
+               detail: Any = None) -> None:
+        """Append a record at the current simulated time."""
+        if len(self.records) >= self.capacity:
+            self.dropped += 1
+            return
+        self.records.append(TraceRecord(self.sim.now, component, event,
+                                        detail))
+
+    # -- queries ------------------------------------------------------------
+    def for_component(self, component: str) -> List[TraceRecord]:
+        return [r for r in self.records if r.component == component]
+
+    def between(self, start_ns: int, end_ns: int) -> List[TraceRecord]:
+        return [r for r in self.records
+                if start_ns <= r.time_ns <= end_ns]
+
+    def counts(self) -> Dict[str, int]:
+        """Events per component."""
+        out: Dict[str, int] = {}
+        for record in self.records:
+            out[record.component] = out.get(record.component, 0) + 1
+        return out
+
+    def timeline(self, limit: Optional[int] = None) -> str:
+        """Human-readable rendering of (up to ``limit``) records."""
+        records = self.records if limit is None else self.records[:limit]
+        lines = [record.render() for record in records]
+        if self.dropped:
+            lines.append(f"... {self.dropped} records dropped "
+                         f"(capacity {self.capacity})")
+        return "\n".join(lines)
+
+
+class Probe:
+    """Wrap DES generators to trace their start, end, and duration."""
+
+    def __init__(self, tracer: Tracer, component: str):
+        self.tracer = tracer
+        self.component = component
+
+    def wrap(self, generator, label: str):
+        """Return a generator that traces around ``generator``."""
+        def _wrapped():
+            start = self.tracer.sim.now
+            self.tracer.record(self.component, f"{label} start")
+            try:
+                result = yield from generator
+            except BaseException as exc:
+                self.tracer.record(
+                    self.component, f"{label} failed",
+                    detail=type(exc).__name__)
+                raise
+            self.tracer.record(
+                self.component, f"{label} end",
+                detail=f"{to_us(self.tracer.sim.now - start):.3f} us")
+            return result
+        return _wrapped()

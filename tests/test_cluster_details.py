@@ -1,0 +1,171 @@
+"""Detailed tests for cluster protocol internals and breakdowns."""
+
+import pytest
+
+from repro.core import BlueDBMCluster, LatencyBreakdown
+from repro.core.cluster import _direct
+from repro.flash import FlashGeometry, PhysAddr
+from repro.network import Topology
+from repro.sim import Simulator, units
+
+GEO = FlashGeometry(buses_per_card=2, chips_per_bus=2, blocks_per_chip=8,
+                    pages_per_block=8, page_size=2048, cards_per_node=2)
+NODE_KW = dict(geometry=GEO)
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestLatencyBreakdown:
+    def test_total_is_component_sum(self):
+        bd = LatencyBreakdown(software=10, storage=20, transfer=30,
+                              network=5)
+        assert bd.total == 65
+        assert bd.as_dict() == {"software": 10, "storage": 20,
+                                "transfer": 30, "network": 5}
+
+    def test_defaults_zero(self):
+        assert LatencyBreakdown().total == 0
+
+
+class TestClusterConstruction:
+    def test_direct_topology_for_two_nodes(self):
+        topo = _direct(2)
+        assert topo.n_nodes == 2
+        assert len(topo.cables) == 1
+
+    def test_single_node_cluster_allowed(self, sim):
+        cluster = BlueDBMCluster(sim, 1, node_kwargs=NODE_KW)
+        assert cluster.n_nodes == 1
+
+    def test_app_endpoint_reservation(self, sim):
+        cluster = BlueDBMCluster(sim, 2, n_endpoints=5, app_endpoints=2,
+                                 node_kwargs=NODE_KW)
+        assert cluster.n_response_eps == 2
+        assert cluster._first_response_ep == 3
+
+    def test_app_endpoints_validation(self, sim):
+        with pytest.raises(ValueError):
+            BlueDBMCluster(sim, 2, n_endpoints=3, app_endpoints=2,
+                           node_kwargs=NODE_KW)
+        with pytest.raises(ValueError):
+            BlueDBMCluster(sim, 2, app_endpoints=-1, node_kwargs=NODE_KW)
+
+    def test_custom_topology_respected(self, sim):
+        topo = Topology(3)
+        topo.connect(0, 1)
+        topo.connect(1, 2)
+        cluster = BlueDBMCluster(sim, 3, topology=topo,
+                                 node_kwargs=NODE_KW)
+        assert cluster.network.hop_count(0, 2) == 2
+
+
+class TestRemotePathDetails:
+    def test_isp_f_breakdown_attribution(self, sim):
+        cluster = BlueDBMCluster(sim, 3, node_kwargs=NODE_KW)
+        addr = PhysAddr(node=1, page=0)
+
+        def proc(sim):
+            _, bd = yield from cluster.isp_remote_flash(0, addr)
+            return bd
+
+        bd = sim.run_process(proc(sim))
+        # Storage component equals the device's first-byte latency.
+        timing = cluster.nodes[1].flash_timing
+        assert bd.storage == timing.cmd_overhead_ns + timing.t_read_ns
+        # Network is request + response propagation over 1 hop each way.
+        hop = cluster.network.config.hop_latency_ns
+        assert bd.network == 2 * hop
+        assert bd.transfer > 0
+
+    def test_concurrent_mixed_path_requests(self, sim):
+        """All four paths in flight simultaneously must not cross wires
+        (responses match requests by id)."""
+        cluster = BlueDBMCluster(sim, 3, node_kwargs=NODE_KW)
+        for page in range(4):
+            cluster.nodes[1].device.store.program(
+                PhysAddr(node=1, page=page), f"flash{page}".encode())
+        cluster.nodes[1].dram.store(0, b"dram0")
+        got = {}
+
+        def isp(sim, page):
+            data, _ = yield from cluster.isp_remote_flash(
+                0, PhysAddr(node=1, page=page))
+            got[f"isp{page}"] = data[:6]
+
+        def hf(sim):
+            data, _ = yield from cluster.host_remote_flash(
+                0, PhysAddr(node=1, page=2))
+            got["hf"] = data[:6]
+
+        def hrhf(sim):
+            data, _ = yield from cluster.host_remote_via_host(
+                0, PhysAddr(node=1, page=3))
+            got["hrhf"] = data[:6]
+
+        def hd(sim):
+            data, _ = yield from cluster.host_remote_dram(0, 1, 0)
+            got["hd"] = data[:5]
+
+        sim.process(isp(sim, 0))
+        sim.process(isp(sim, 1))
+        sim.process(hf(sim))
+        sim.process(hrhf(sim))
+        sim.process(hd(sim))
+        sim.run()
+        assert got == {"isp0": b"flash0", "isp1": b"flash1",
+                       "hf": b"flash2", "hrhf": b"flash3",
+                       "hd": b"dram0"}
+
+    def test_unknown_request_kind_rejected(self, sim):
+        cluster = BlueDBMCluster(sim, 2, node_kwargs=NODE_KW)
+
+        def proc(sim):
+            yield from cluster._remote_request(
+                0, 1, {"kind": "teleport"})
+
+        sim.process(proc(sim))
+        with pytest.raises(ValueError, match="unknown request kind"):
+            sim.run()
+
+    def test_h_rh_f_includes_remote_blockio_tax(self, sim):
+        """The generic path's calibrated kernel costs actually appear in
+        the measured latency."""
+        cluster = BlueDBMCluster(sim, 3, node_kwargs=NODE_KW)
+        addr = PhysAddr(node=1, page=0)
+
+        def hf(sim):
+            _, bd = yield from cluster.host_remote_flash(0, addr)
+            return bd.total
+
+        hf_total = sim.run_process(hf(sim))
+
+        sim2 = Simulator()
+        cluster2 = BlueDBMCluster(sim2, 3, node_kwargs=NODE_KW)
+
+        def hrhf(sim2):
+            _, bd = yield from cluster2.host_remote_via_host(0, addr)
+            return bd.total
+
+        hrhf_total = sim2.run_process(hrhf(sim2))
+        floor = (cluster.ethernet.rpc_latency_ns
+                 + cluster.NIC_WAKEUP_NS + cluster.REMOTE_BLOCKIO_NS)
+        assert hrhf_total - hf_total >= floor
+
+
+class TestAppInbox:
+    def test_non_protocol_ethernet_traffic_lands_in_inbox(self, sim):
+        cluster = BlueDBMCluster(sim, 2, node_kwargs=NODE_KW)
+
+        def sender(sim):
+            yield sim.process(cluster.ethernet.send(
+                1, 0, ("app", "payload"), 64))
+
+        def receiver(sim):
+            message = yield cluster.app_inbox[0].get()
+            return message.payload
+
+        sim.process(sender(sim))
+        assert sim.run_process(receiver(sim)) == ("app", "payload")

@@ -1,0 +1,134 @@
+"""Property tests: deterministic routing on random topologies.
+
+For any connected random topology within the 8-port constraint, the
+computed routing tables must deliver every (src, dst, endpoint) in
+exactly the BFS-shortest number of hops, with no routing loops, and
+identically on recomputation (determinism).
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.network import (
+    StorageNetwork,
+    Topology,
+    build_routing_tables,
+    shortest_hop_counts,
+)
+from repro.sim import Simulator
+
+
+def random_connected_topology(n_nodes: int, extra_edges: int,
+                              seed: int) -> Topology:
+    """A random spanning tree plus extra random cables, port-capped."""
+    rng = random.Random(seed)
+    topo = Topology(n_nodes)
+    nodes = list(range(n_nodes))
+    rng.shuffle(nodes)
+    for i in range(1, n_nodes):
+        a = nodes[rng.randrange(i)]
+        b = nodes[i]
+        if topo.ports_used(a) < 8 and topo.ports_used(b) < 8:
+            topo.connect(a, b)
+        else:
+            # Fall back to any node with a free port.
+            for c in nodes[:i]:
+                if topo.ports_used(c) < 8:
+                    topo.connect(c, b)
+                    break
+    for _ in range(extra_edges):
+        a, b = rng.randrange(n_nodes), rng.randrange(n_nodes)
+        if (a != b and topo.ports_used(a) < 8
+                and topo.ports_used(b) < 8):
+            topo.connect(a, b)
+    return topo
+
+
+def walk_route(topo, tables, src, dst, endpoint):
+    """Follow next-hop ports from src; return the hop count."""
+    adjacency = {
+        node: {port: peer for port, peer, _ in topo.neighbors(node)}
+        for node in range(topo.n_nodes)
+    }
+    node, hops = src, 0
+    while node != dst:
+        port = tables[node].next_port(dst, endpoint)
+        node = adjacency[node][port]
+        hops += 1
+        assert hops <= topo.n_nodes, "routing loop detected"
+    return hops
+
+
+class TestRoutingProperties:
+    @given(st.integers(min_value=2, max_value=10),
+           st.integers(min_value=0, max_value=8),
+           st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_routes_are_shortest_and_loop_free(self, n_nodes, extra,
+                                               seed):
+        topo = random_connected_topology(n_nodes, extra, seed)
+        if not topo.is_connected():
+            return
+        tables = build_routing_tables(topo, n_endpoints=3)
+        for src in range(n_nodes):
+            dist = shortest_hop_counts(topo, src)
+            for dst in range(n_nodes):
+                if src == dst:
+                    continue
+                for endpoint in range(3):
+                    hops = walk_route(topo, tables, src, dst, endpoint)
+                    assert hops == dist[dst]
+
+    @given(st.integers(min_value=3, max_value=8),
+           st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_recomputation_is_deterministic(self, n_nodes, seed):
+        topo = random_connected_topology(n_nodes, 4, seed)
+        if not topo.is_connected():
+            return
+        t1 = build_routing_tables(topo, n_endpoints=4)
+        t2 = build_routing_tables(topo, n_endpoints=4)
+        for node in range(n_nodes):
+            for dst in range(n_nodes):
+                if node == dst:
+                    continue
+                for ep in range(4):
+                    assert (t1[node].next_port(dst, ep)
+                            == t2[node].next_port(dst, ep))
+
+    @given(st.integers(min_value=3, max_value=7),
+           st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=10, deadline=None)
+    def test_messages_actually_deliver_on_random_topology(self, n_nodes,
+                                                          seed):
+        topo = random_connected_topology(n_nodes, 3, seed)
+        if not topo.is_connected():
+            return
+        sim = Simulator()
+        net = StorageNetwork(sim, topo, n_endpoints=2)
+        received = []
+
+        def sender(sim, src, dst):
+            yield sim.process(
+                net.endpoint(src, 0).send(dst, (src, dst), 64))
+
+        def receiver(sim, dst, expect):
+            for _ in range(expect):
+                message = yield sim.process(net.endpoint(dst, 0).receive())
+                received.append(message.payload)
+
+        rng = random.Random(seed)
+        pairs = [(rng.randrange(n_nodes), rng.randrange(n_nodes))
+                 for _ in range(5)]
+        pairs = [(a, b) for a, b in pairs if a != b]
+        expect_per_node = {}
+        for a, b in pairs:
+            expect_per_node[b] = expect_per_node.get(b, 0) + 1
+        for a, b in pairs:
+            sim.process(sender(sim, a, b))
+        for dst, expect in expect_per_node.items():
+            sim.process(receiver(sim, dst, expect))
+        sim.run()
+        assert sorted(received) == sorted(pairs)

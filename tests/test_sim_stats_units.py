@@ -1,0 +1,183 @@
+"""Tests for stats collectors and unit conversions."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import (
+    BandwidthMeter,
+    Counter,
+    LatencyStats,
+    Simulator,
+    UtilizationTracker,
+    units,
+)
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestUnits:
+    def test_us_roundtrip(self):
+        assert units.us(1.5) == 1500
+        assert units.to_us(1500) == 1.5
+
+    def test_ms_and_seconds(self):
+        assert units.ms(2) == 2_000_000
+        assert units.seconds(1) == 1_000_000_000
+        assert units.to_ms(500_000) == 0.5
+        assert units.to_s(2_000_000_000) == 2.0
+
+    def test_gbps_conversion(self):
+        # 10 Gbps = 1.25 bytes per ns.
+        assert units.gbps_to_bytes_per_ns(10) == 1.25
+
+    def test_gbytes_conversion(self):
+        # 1 GB/s = 1 byte per ns.
+        assert units.gbytes_to_bytes_per_ns(1.6) == 1.6
+
+    def test_transfer_ns(self):
+        # 8KB at 1.25 B/ns -> 6400 ns.
+        assert units.transfer_ns(8000, 1.25) == 6400
+
+    def test_transfer_ns_minimum_one(self):
+        assert units.transfer_ns(1, 1000.0) == 1
+
+    def test_transfer_zero_bytes(self):
+        assert units.transfer_ns(0, 1.0) == 0
+
+    def test_transfer_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            units.transfer_ns(10, 0)
+
+    def test_bandwidth_gbytes(self):
+        assert units.bandwidth_gbytes(8000, 8000) == 1.0
+
+    def test_bandwidth_gbps(self):
+        assert units.bandwidth_gbps(1250, 1000) == 10.0
+
+    def test_bandwidth_zero_window(self):
+        assert units.bandwidth_gbytes(100, 0) == 0.0
+
+    @given(st.integers(min_value=10_000, max_value=10**9),
+           st.floats(min_value=0.01, max_value=100))
+    def test_transfer_roundtrip_property(self, num_bytes, rate):
+        # Transfers of >=10KB span >=100 ns at any modeled rate, so the
+        # 1-ns rounding quantum contributes <=1% relative error.
+        ns = units.transfer_ns(num_bytes, rate)
+        observed = units.bandwidth_gbytes(num_bytes, ns)
+        assert observed == pytest.approx(rate, rel=0.01)
+
+
+class TestCounter:
+    def test_add_and_reset(self):
+        c = Counter("ops")
+        c.add()
+        c.add(4)
+        assert c.value == 5
+        c.reset()
+        assert c.value == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Counter().add(-1)
+
+
+class TestLatencyStats:
+    def test_basic_summary(self):
+        stats = LatencyStats()
+        for v in [100, 200, 300]:
+            stats.record(v)
+        assert stats.count == 3
+        assert stats.mean == 200
+        assert stats.minimum == 100
+        assert stats.maximum == 300
+
+    def test_percentiles(self):
+        stats = LatencyStats()
+        for v in range(1, 101):
+            stats.record(v)
+        assert stats.percentile(50) == pytest.approx(50.5)
+        assert stats.percentile(0) == 1
+        assert stats.percentile(100) == 100
+
+    def test_percentile_out_of_range(self):
+        with pytest.raises(ValueError):
+            LatencyStats().percentile(101)
+
+    def test_empty_stats_are_zero(self):
+        stats = LatencyStats()
+        assert stats.mean == 0.0
+        assert stats.percentile(50) == 0.0
+        assert stats.stddev == 0.0
+
+    def test_negative_sample_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyStats().record(-5)
+
+    @given(st.lists(st.integers(min_value=0, max_value=10**6), min_size=1))
+    def test_mean_bounded_by_min_max(self, samples):
+        stats = LatencyStats()
+        for s in samples:
+            stats.record(s)
+        assert stats.minimum <= stats.mean <= stats.maximum
+
+    @given(st.lists(st.integers(min_value=0, max_value=10**6), min_size=2))
+    def test_percentile_monotone(self, samples):
+        stats = LatencyStats()
+        for s in samples:
+            stats.record(s)
+        assert stats.percentile(25) <= stats.percentile(75)
+
+
+class TestBandwidthMeter:
+    def test_measures_rate(self, sim):
+        meter = BandwidthMeter(sim)
+
+        def proc(sim):
+            meter.record(0)  # open window
+            yield sim.timeout(8000)
+            meter.record(8000)
+
+        sim.process(proc(sim))
+        sim.run()
+        assert meter.gbytes_per_sec() == pytest.approx(1.0)
+
+    def test_explicit_window(self, sim):
+        meter = BandwidthMeter(sim)
+        meter.record(1250)
+        assert meter.gbits_per_sec(elapsed_ns=1000) == pytest.approx(10.0)
+
+    def test_empty_meter(self, sim):
+        meter = BandwidthMeter(sim)
+        assert meter.elapsed_ns == 0
+        assert meter.gbytes_per_sec() == 0.0
+
+
+class TestUtilizationTracker:
+    def test_utilization_fraction(self, sim):
+        tracker = UtilizationTracker(sim)
+
+        def proc(sim):
+            tracker.busy(250)
+            yield sim.timeout(1000)
+
+        sim.process(proc(sim))
+        sim.run()
+        assert tracker.utilization() == pytest.approx(0.25)
+
+    def test_clamped_to_one(self, sim):
+        tracker = UtilizationTracker(sim)
+
+        def proc(sim):
+            tracker.busy(5000)
+            yield sim.timeout(1000)
+
+        sim.process(proc(sim))
+        sim.run()
+        assert tracker.utilization() == 1.0
+
+    def test_zero_window(self, sim):
+        tracker = UtilizationTracker(sim)
+        assert tracker.utilization() == 0.0

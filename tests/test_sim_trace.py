@@ -1,0 +1,97 @@
+"""Tests for the simulation tracer."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.trace import Probe, Tracer
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestTracer:
+    def test_records_carry_sim_time(self, sim):
+        tracer = Tracer(sim)
+
+        def proc(sim):
+            tracer.record("flash", "read issued", detail="page 5")
+            yield sim.timeout(1000)
+            tracer.record("flash", "read done")
+
+        sim.process(proc(sim))
+        sim.run()
+        assert [r.time_ns for r in tracer.records] == [0, 1000]
+        assert tracer.records[0].detail == "page 5"
+
+    def test_capacity_drops_not_grows(self, sim):
+        tracer = Tracer(sim, capacity=3)
+        for i in range(10):
+            tracer.record("x", f"e{i}")
+        assert len(tracer.records) == 3
+        assert tracer.dropped == 7
+        assert "7 records dropped" in tracer.timeline()
+
+    def test_component_and_window_queries(self, sim):
+        tracer = Tracer(sim)
+
+        def proc(sim):
+            tracer.record("a", "one")
+            yield sim.timeout(100)
+            tracer.record("b", "two")
+            yield sim.timeout(100)
+            tracer.record("a", "three")
+
+        sim.process(proc(sim))
+        sim.run()
+        assert len(tracer.for_component("a")) == 2
+        assert [r.event for r in tracer.between(50, 150)] == ["two"]
+        assert tracer.counts() == {"a": 2, "b": 1}
+
+    def test_timeline_rendering(self, sim):
+        tracer = Tracer(sim)
+        tracer.record("net", "packet sent")
+        text = tracer.timeline()
+        assert "net" in text and "packet sent" in text
+
+    def test_invalid_capacity(self, sim):
+        with pytest.raises(ValueError):
+            Tracer(sim, capacity=0)
+
+
+class TestProbe:
+    def test_probe_times_a_generator(self, sim):
+        tracer = Tracer(sim)
+        probe = Probe(tracer, "worker")
+
+        def inner(sim):
+            yield sim.timeout(500)
+            return "value"
+
+        def proc(sim):
+            result = yield sim.process(probe.wrap(inner(sim), "job"))
+            return result
+
+        assert sim.run_process(proc(sim)) == "value"
+        events = [r.event for r in tracer.records]
+        assert events == ["job start", "job end"]
+        assert "0.500 us" in str(tracer.records[1].detail)
+
+    def test_probe_records_failures(self, sim):
+        tracer = Tracer(sim)
+        probe = Probe(tracer, "worker")
+
+        def bad(sim):
+            yield sim.timeout(1)
+            raise RuntimeError("boom")
+
+        def proc(sim):
+            try:
+                yield sim.process(probe.wrap(bad(sim), "job"))
+            except RuntimeError:
+                return "caught"
+
+        assert sim.run_process(proc(sim)) == "caught"
+        assert tracer.records[-1].event == "job failed"
+        assert tracer.records[-1].detail == "RuntimeError"
