@@ -6,6 +6,10 @@ Subpackages
 -----------
 ``repro.sim``
     Discrete-event simulation kernel (events, processes, FIFOs, stats).
+``repro.io``
+    Unified I/O request pipeline: ``IORequest`` with per-stage
+    timestamps, end-to-end ``RequestTracer``, pluggable QoS scheduling
+    policies (FIFO, fair-share, priority, EDF).
 ``repro.flash``
     Raw NAND flash substrate: chips, buses, ECC, tagged controller,
     interface splitter and Flash Server.

@@ -50,8 +50,12 @@ EXPERIMENTS = [
      "benchmarks/test_fig21_strsearch.py"),
     ("Ablations", "tags / routing / FTL / striping",
      "benchmarks/test_ablation_*.py"),
+    ("Extension", "aggregate bandwidth vs node count",
+     "benchmarks/test_ext_scaling.py"),
     ("Extension", "SQL offload vs selectivity",
      "benchmarks/test_ext_sql_offload.py"),
+    ("QoS", "multi-tenant scheduler policies",
+     "benchmarks/test_qos_multitenant.py"),
 ]
 
 

@@ -1,0 +1,69 @@
+"""The multi-tenant QoS contention scenario, shared by benchmark and example.
+
+One node, three tenants on its splitter — local in-store processors
+(``isp``), host software paying the full syscall/RPC/PCIe path
+(``host``), and the remote-request network service (``net``) as a 12x
+aggressor — with card admission bounded so the scheduling policy, not
+the physical tag pool, decides who runs.  ``run_policy`` executes the
+closed-loop workload under one policy and returns the populated
+:class:`~repro.io.tracer.RequestTracer`.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core.node import BlueDBMNode
+from ..flash import FlashGeometry
+from ..io import RequestTracer
+from ..sim import Simulator, units
+
+__all__ = ["QOS_POLICIES", "QOS_TENANTS", "ADMISSION_SLOTS", "run_policy"]
+
+QOS_POLICIES = ["fifo", "rr", "priority", "edf"]
+
+#: tenant -> (closed-loop workers, splitter-port QoS kwargs).
+QOS_TENANTS = {
+    "isp": (4, dict(max_in_flight=8, priority=2,
+                    deadline_ns=500 * units.US)),
+    "host": (4, dict(max_in_flight=8, priority=1,
+                     deadline_ns=2000 * units.US)),
+    "net": (48, dict(max_in_flight=64, priority=0,
+                     deadline_ns=20_000 * units.US)),
+}
+
+#: Outstanding commands allowed across all ports — well below the
+#: card's 256 physical tags, so the policy arbitrates under contention.
+ADMISSION_SLOTS = 8
+
+#: Striped page indices the tenants draw addresses from (clamped to the
+#: geometry's capacity, so small test geometries work too).
+ADDR_SPACE = 4096
+
+
+def run_policy(policy: str, geometry: FlashGeometry, duration_ns: int,
+               seed: int = 1234) -> RequestTracer:
+    """Run the three-tenant contention workload under ``policy``."""
+    addr_space = min(ADDR_SPACE, geometry.pages_per_node)
+    sim = Simulator()
+    tracer = RequestTracer(sim)
+    node = BlueDBMNode(sim, geometry=geometry,
+                       splitter_policy=policy,
+                       splitter_in_flight=ADMISSION_SLOTS,
+                       tracer=tracer,
+                       port_qos={tenant: kwargs for tenant, (_, kwargs)
+                                 in QOS_TENANTS.items()})
+    rng = random.Random(seed)
+    reads = {"isp": node.isp_read, "host": node.host_read,
+             "net": node.net_read}
+
+    def worker(sim, read):
+        while sim.now < duration_ns:
+            addr = geometry.striped(rng.randrange(addr_space))
+            yield sim.process(read(addr))
+
+    for tenant, (workers, _) in QOS_TENANTS.items():
+        for _ in range(workers):
+            sim.process(worker(sim, reads[tenant]), name=f"{tenant}-worker")
+    sim.run()
+    return tracer

@@ -26,6 +26,7 @@ import itertools
 from typing import Any, Dict, List, Optional
 
 from ..flash import PhysAddr
+from ..io import IOKind, IORequest, RequestTracer, StageSpan
 from ..network import EthernetFabric, NetworkConfig, StorageNetwork, Topology, ring
 from ..sim import Event, Simulator, Store
 from .node import BlueDBMNode
@@ -72,10 +73,16 @@ class BlueDBMCluster:
                  topology: Optional[Topology] = None,
                  network_config: Optional[NetworkConfig] = None,
                  n_endpoints: int = 4, app_endpoints: int = 0,
-                 node_kwargs: Optional[dict] = None):
+                 node_kwargs: Optional[dict] = None,
+                 tracer: Optional[RequestTracer] = None):
         """``app_endpoints`` reserves endpoints 1..app_endpoints for
         applications (e.g. MapReduce shuffle); the cluster's own
-        request/response protocol uses endpoint 0 plus the rest."""
+        request/response protocol uses endpoint 0 plus the rest.
+
+        ``tracer`` attaches unified-pipeline tracing to the four remote
+        access paths: each becomes an :class:`~repro.io.IORequest` that
+        travels with the protocol message, so remote flash service time
+        lands on the same request the source issued."""
         if n_nodes < 1:
             raise ValueError("need at least one node")
         if app_endpoints < 0:
@@ -86,6 +93,7 @@ class BlueDBMCluster:
                 "endpoints (requests + responses)")
         self.sim = sim
         self.n_nodes = n_nodes
+        self.tracer = tracer
         node_kwargs = node_kwargs or {}
         self.nodes: List[BlueDBMNode] = [
             BlueDBMNode(sim, node_id=i, **node_kwargs)
@@ -135,8 +143,10 @@ class BlueDBMCluster:
 
     def _serve(self, node_id: int, requester: int, request: Dict[str, Any]):
         node = self.nodes[node_id]
+        io_req = request.get("request")
         if request["kind"] == "flash":
-            result = yield self.sim.process(node.net_read(request["addr"]))
+            result = yield self.sim.process(
+                node.net_read(request["addr"], request=io_req))
             data = result.data
         elif request["kind"] == "dram":
             data = yield self.sim.process(
@@ -158,11 +168,17 @@ class BlueDBMCluster:
                 event.succeed(message.payload["data"])
 
     def _remote_request(self, src: int, dst: int,
-                        request: Dict[str, Any]):
-        """Issue a request over the integrated network; wait for data."""
+                        request: Dict[str, Any],
+                        io_request: Optional[IORequest] = None):
+        """Issue a request over the integrated network; wait for data.
+
+        ``io_request`` rides along in the protocol message so the
+        remote flash service charges its stages to the same request.
+        """
         req_id = next(self._req_ids)
         reply_ep = self._first_response_ep + (req_id % self.n_response_eps)
-        request = dict(request, req_id=req_id, reply_ep=reply_ep)
+        request = dict(request, req_id=req_id, reply_ep=reply_ep,
+                       request=io_request)
         event = self.sim.event()
         self._pending[req_id] = event
         endpoint = self.network.endpoint(src, REQUEST_EP)
@@ -170,6 +186,30 @@ class BlueDBMCluster:
             endpoint.send(dst, request, _REQUEST_BYTES))
         data = yield event
         return data
+
+    # -- tracing helpers -----------------------------------------------
+    def _trace_start(self, kind: IOKind, addr: Any, tenant: str,
+                     size: Optional[int] = None) -> Optional[IORequest]:
+        if self.tracer is None:
+            return None
+        return self.tracer.start(kind, addr,
+                                 self.page_size if size is None else size,
+                                 tenant=tenant)
+
+    def _trace_finish(self, request: Optional[IORequest],
+                      src: int, dst: int) -> None:
+        """Annotate analytic network propagation and complete the trace.
+
+        Propagation is deterministic per route (Section 3.2.3), so it is
+        recorded as an annotation — the same ``2 * hops * hop_latency``
+        term :meth:`_attribute` uses — rather than a timed span.
+        """
+        if request is None:
+            return
+        hops = self.network.hop_count(src, dst) if src != dst else 0
+        request.annotate("network",
+                         2 * hops * self.network.config.hop_latency_ns)
+        self.tracer.complete(request)
 
     # ------------------------------------------------------------------
     # Remote host service (Ethernet-reached, for H-RH-F / H-D)
@@ -203,23 +243,30 @@ class BlueDBMCluster:
         skip.
         """
         node = self.nodes[node_id]
+        io_req = request.get("request")
         # NIC interrupt + scheduler wakeup before the host can serve.
-        yield self.sim.timeout(self.NIC_WAKEUP_NS)
+        with StageSpan(self.sim, io_req, "software"):
+            yield self.sim.timeout(self.NIC_WAKEUP_NS)
         if request["kind"] == "flash":
-            data = yield self.sim.process(node.host_read(request["addr"]))
+            data = yield self.sim.process(
+                node.host_read(request["addr"], request=io_req))
             # Kernel block-I/O overhead of the synchronous read.
-            yield self.sim.timeout(self.REMOTE_BLOCKIO_NS)
+            with StageSpan(self.sim, io_req, "software"):
+                yield self.sim.timeout(self.REMOTE_BLOCKIO_NS)
         elif request["kind"] == "dram":
-            yield self.sim.process(
-                node.cpu.compute(node.host_config.software_request_ns))
+            with StageSpan(self.sim, io_req, "software"):
+                yield self.sim.process(
+                    node.cpu.compute(node.host_config.software_request_ns))
             data = yield self.sim.process(
                 _gen(node.dram.read(request["page"])))
         else:
             raise ValueError(f"unknown request kind {request['kind']!r}")
         # Response software cost + push the page back into the device.
-        yield self.sim.process(
-            node.cpu.compute(node.host_config.software_request_ns))
-        yield self.sim.process(node.pcie.host_to_device(self.page_size))
+        with StageSpan(self.sim, io_req, "software"):
+            yield self.sim.process(
+                node.cpu.compute(node.host_config.software_request_ns))
+        with StageSpan(self.sim, io_req, "pcie"):
+            yield self.sim.process(node.pcie.host_to_device(self.page_size))
         reply_ep = self.network.endpoint(node_id, request["reply_ep"])
         yield self.sim.process(reply_ep.send(
             request["requester"],
@@ -231,36 +278,47 @@ class BlueDBMCluster:
     # ------------------------------------------------------------------
     def isp_remote_flash(self, src: int, addr: PhysAddr):
         """ISP-F: in-store processor reads remote flash directly."""
+        io_req = self._trace_start(IOKind.READ, addr, f"isp-n{src}")
         t0 = self.sim.now
         data = yield from self._remote_request(
-            src, addr.node, {"kind": "flash", "addr": addr})
+            src, addr.node, {"kind": "flash", "addr": addr},
+            io_request=io_req)
         breakdown = self._attribute(src, addr.node, self.sim.now - t0,
                                     software=0)
+        self._trace_finish(io_req, src, addr.node)
         return data, breakdown
 
     def host_remote_flash(self, src: int, addr: PhysAddr):
         """H-F: local host software reads remote flash over the
         integrated network (one local software + PCIe crossing)."""
         node = self.nodes[src]
+        io_req = self._trace_start(IOKind.READ, addr, f"host-n{src}")
         t0 = self.sim.now
-        yield self.sim.process(
-            node.cpu.compute(node.host_config.software_request_ns))
-        yield self.sim.timeout(node.host_config.rpc_ns)
+        with StageSpan(self.sim, io_req, "software"):
+            yield self.sim.process(
+                node.cpu.compute(node.host_config.software_request_ns))
+            yield self.sim.timeout(node.host_config.rpc_ns)
         software = self.sim.now - t0
         data = yield from self._remote_request(
-            src, addr.node, {"kind": "flash", "addr": addr})
-        yield self.sim.process(node.pcie.device_to_host(self.page_size))
-        yield self.sim.timeout(node.host_config.interrupt_ns)
+            src, addr.node, {"kind": "flash", "addr": addr},
+            io_request=io_req)
+        with StageSpan(self.sim, io_req, "pcie"):
+            yield self.sim.process(node.pcie.device_to_host(self.page_size))
+        with StageSpan(self.sim, io_req, "interrupt"):
+            yield self.sim.timeout(node.host_config.interrupt_ns)
         breakdown = self._attribute(src, addr.node, self.sim.now - t0,
                                     software=software)
+        self._trace_finish(io_req, src, addr.node)
         return data, breakdown
 
     def host_remote_via_host(self, src: int, addr: PhysAddr):
         """H-RH-F: request detours through the remote host's software."""
         node = self.nodes[src]
+        io_req = self._trace_start(IOKind.READ, addr, f"host-n{src}")
         t0 = self.sim.now
-        yield self.sim.process(
-            node.cpu.compute(node.host_config.software_request_ns))
+        with StageSpan(self.sim, io_req, "software"):
+            yield self.sim.process(
+                node.cpu.compute(node.host_config.software_request_ns))
         software = self.sim.now - t0
         req_id = next(self._req_ids)
         reply_ep = self._first_response_ep + (req_id % self.n_response_eps)
@@ -269,24 +327,29 @@ class BlueDBMCluster:
         yield self.sim.process(self.ethernet.send(
             src, addr.node,
             {"kind": "flash", "addr": addr, "req_id": req_id,
-             "reply_ep": reply_ep, "requester": src},
+             "reply_ep": reply_ep, "requester": src, "request": io_req},
             _REQUEST_BYTES))
         data = yield event
-        yield self.sim.process(node.pcie.device_to_host(self.page_size))
-        yield self.sim.timeout(node.host_config.interrupt_ns)
+        with StageSpan(self.sim, io_req, "pcie"):
+            yield self.sim.process(node.pcie.device_to_host(self.page_size))
+        with StageSpan(self.sim, io_req, "interrupt"):
+            yield self.sim.timeout(node.host_config.interrupt_ns)
         remote_sw = (self.nodes[addr.node].host_config.software_request_ns
                      + self.NIC_WAKEUP_NS + self.REMOTE_BLOCKIO_NS)
         breakdown = self._attribute(
             src, addr.node, self.sim.now - t0,
             software=software + self.ethernet.rpc_latency_ns + remote_sw)
+        self._trace_finish(io_req, src, addr.node)
         return data, breakdown
 
     def host_remote_dram(self, src: int, dst: int, page: int):
         """H-D: like H-RH-F but served from the remote node's DRAM."""
         node = self.nodes[src]
+        io_req = self._trace_start(IOKind.READ, page, f"host-n{src}")
         t0 = self.sim.now
-        yield self.sim.process(
-            node.cpu.compute(node.host_config.software_request_ns))
+        with StageSpan(self.sim, io_req, "software"):
+            yield self.sim.process(
+                node.cpu.compute(node.host_config.software_request_ns))
         software = self.sim.now - t0
         req_id = next(self._req_ids)
         reply_ep = self._first_response_ep + (req_id % self.n_response_eps)
@@ -295,16 +358,19 @@ class BlueDBMCluster:
         yield self.sim.process(self.ethernet.send(
             src, dst,
             {"kind": "dram", "page": page, "req_id": req_id,
-             "reply_ep": reply_ep, "requester": src},
+             "reply_ep": reply_ep, "requester": src, "request": io_req},
             _REQUEST_BYTES))
         data = yield event
-        yield self.sim.process(node.pcie.device_to_host(self.page_size))
-        yield self.sim.timeout(node.host_config.interrupt_ns)
+        with StageSpan(self.sim, io_req, "pcie"):
+            yield self.sim.process(node.pcie.device_to_host(self.page_size))
+        with StageSpan(self.sim, io_req, "interrupt"):
+            yield self.sim.timeout(node.host_config.interrupt_ns)
         remote_sw = (self.nodes[dst].host_config.software_request_ns
                      + self.NIC_WAKEUP_NS)
         breakdown = self._attribute(
             src, dst, self.sim.now - t0, storage_override=0,
             software=software + self.ethernet.rpc_latency_ns + remote_sw)
+        self._trace_finish(io_req, src, dst)
         return data, breakdown
 
     # ------------------------------------------------------------------

@@ -38,13 +38,23 @@ from ..host import (
     HostInterface,
     PCIeLink,
 )
+from ..io import RequestTracer
 from ..sim import Simulator
 
 __all__ = ["BlueDBMNode"]
 
 
 class BlueDBMNode:
-    """A host server coupled with its BlueDBM storage device."""
+    """A host server coupled with its BlueDBM storage device.
+
+    QoS wiring: ``splitter_policy`` (a name from
+    :data:`repro.io.scheduler.POLICIES` or a policy instance) enables
+    policy-arbitrated admission across the node's three splitter ports
+    (ISP / host / network service), bounded to ``splitter_in_flight``
+    outstanding commands; ``scheduler_policy`` selects the accelerator
+    scheduler's discipline; ``tracer`` attaches end-to-end request
+    tracing to every path through the node.
+    """
 
     def __init__(self, sim: Simulator, node_id: int = 0,
                  geometry: FlashGeometry = DEFAULT_GEOMETRY,
@@ -54,23 +64,38 @@ class BlueDBMNode:
                  isp_queue_depth: int = 32,
                  accelerator_units: int = 8,
                  onboard_dram_gbs: float = 10.0,
-                 seed: int = 0):
+                 seed: int = 0,
+                 splitter_policy=None,
+                 splitter_in_flight: Optional[int] = None,
+                 scheduler_policy=None,
+                 tracer: Optional[RequestTracer] = None,
+                 port_qos: Optional[dict] = None):
         self.sim = sim
         self.node_id = node_id
         self.geometry = geometry
         self.host_config = host_config or HostConfig()
         self.flash_timing = flash_timing or FlashTiming()
+        self.tracer = tracer
 
         # Storage device: two custom flash cards with shared management.
         self.device = StorageDevice(sim, geometry=geometry,
                                     timing=flash_timing, errors=errors,
                                     node=node_id, seed=seed)
-        self.splitter = FlashSplitter(sim, self.device)
+        self.splitter = FlashSplitter(sim, self.device,
+                                      policy=splitter_policy,
+                                      total_in_flight=splitter_in_flight,
+                                      tracer=tracer)
         # Port 0: local in-store processors; port 1: host software;
         # port 2: remote requests arriving over the storage network.
-        self.isp_port = self.splitter.add_port()
-        self.host_port = self.splitter.add_port()
-        self.net_port = self.splitter.add_port()
+        # ``port_qos`` maps tenant name -> add_port kwargs (priority,
+        # deadline_ns, max_in_flight) for QoS experiments.
+        port_qos = port_qos or {}
+        self.isp_port = self.splitter.add_port(
+            tenant="isp", **port_qos.get("isp", {}))
+        self.host_port = self.splitter.add_port(
+            tenant="host", **port_qos.get("host", {}))
+        self.net_port = self.splitter.add_port(
+            tenant="net", **port_qos.get("net", {}))
         self.flash_server = FlashServer(sim, self.isp_port,
                                         queue_depth=isp_queue_depth)
 
@@ -79,7 +104,7 @@ class BlueDBMNode:
         self.pcie = PCIeLink(sim, self.host_config)
         self.host = HostInterface(sim, self.host_config, self.cpu,
                                   self.pcie, self.host_port,
-                                  geometry.page_size)
+                                  geometry.page_size, tracer=tracer)
 
         # On-board DRAM buffer (Figure 2's fourth service).
         self.dram = DRAMStore(sim, page_size=geometry.page_size,
@@ -88,28 +113,34 @@ class BlueDBMNode:
         # File system + accelerator sharing.
         self.fs = RFS(sim, self.device)
         self.scheduler = AcceleratorScheduler(sim, accelerator_units,
-                                              name=f"accel-n{node_id}")
+                                              name=f"accel-n{node_id}",
+                                              policy=scheduler_policy)
 
     # -- access paths -----------------------------------------------------
-    def isp_read(self, addr: PhysAddr):
+    def isp_read(self, addr: PhysAddr, request=None):
         """In-store processor read: no host software or PCIe involved."""
-        result = yield self.sim.process(self.isp_port.read_page(addr))
+        result = yield self.sim.process(
+            self.isp_port.read_page(addr, request=request))
         return result
 
-    def net_read(self, addr: PhysAddr):
+    def net_read(self, addr: PhysAddr, request=None):
         """Read on behalf of a remote node (network service port)."""
-        result = yield self.sim.process(self.net_port.read_page(addr))
+        result = yield self.sim.process(
+            self.net_port.read_page(addr, request=request))
         return result
 
-    def host_read(self, addr: PhysAddr, software_path: bool = True):
+    def host_read(self, addr: PhysAddr, software_path: bool = True,
+                  request=None):
         """Host software read: syscall + RPC + flash + DMA + interrupt."""
         data = yield self.sim.process(
-            self.host.read_page(addr, software_path=software_path))
+            self.host.read_page(addr, software_path=software_path,
+                                request=request))
         return data
 
-    def host_write(self, addr: PhysAddr, data: bytes):
+    def host_write(self, addr: PhysAddr, data: bytes, request=None):
         """Host software write path."""
-        yield self.sim.process(self.host.write_page(addr, data))
+        yield self.sim.process(
+            self.host.write_page(addr, data, request=request))
 
     def peak_flash_bandwidth(self) -> float:
         """The node's native flash ceiling (2.4 GB/s with paper values)."""

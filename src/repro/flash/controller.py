@@ -24,6 +24,7 @@ from __future__ import annotations
 import random
 from typing import Dict, Optional, Tuple
 
+from ..io import IORequest, StageSpan
 from ..sim import Counter, Resource, Simulator, Store, units
 from . import ecc
 from .chip import ErrorModel, FlashChip, FlashTiming, ProgramError, EraseError
@@ -129,34 +130,41 @@ class FlashCard:
         return units.transfer_ns(num_bytes, self.timing.aurora_bytes_per_ns)
 
     # -- tagged operations ---------------------------------------------------
-    def read_page(self, addr: PhysAddr):
+    def read_page(self, addr: PhysAddr, request: Optional[IORequest] = None):
         """Tagged page read; returns :class:`ReadResult` (corrected data).
 
         Timeline: acquire tag -> command overhead -> chip array read
         (t_read) -> bus transfer -> aurora transfer to the host FPGA ->
         ECC decode -> release tag.
+
+        ``request`` is the unified-pipeline request being served, if the
+        caller traces; tag wait, array access, and card-internal data
+        movement are charged to its ``tag``/``storage``/``device`` stages.
         """
         chip = self._chip(addr)
         if self.badblocks.is_bad(addr):
             raise UncorrectablePageError(addr)
-        tag = yield self._tag_pool.get()
+        with StageSpan(self.sim, request, "tag"):
+            tag = yield self._tag_pool.get()
         try:
-            yield self.sim.timeout(self.timing.cmd_overhead_ns)
-            data, parity, flips = yield self.sim.process(chip.read(addr))
-            bus = self.buses[addr.bus]
-            yield bus.request()
-            try:
-                yield self.sim.timeout(
-                    self._bus_transfer_ns(self.geometry.page_size))
-            finally:
-                bus.release()
-            yield self.aurora.request()
-            try:
-                yield self.sim.timeout(
-                    self.timing.aurora_latency_ns
-                    + self._aurora_transfer_ns(self.geometry.page_size))
-            finally:
-                self.aurora.release()
+            with StageSpan(self.sim, request, "storage"):
+                yield self.sim.timeout(self.timing.cmd_overhead_ns)
+                data, parity, flips = yield self.sim.process(chip.read(addr))
+            with StageSpan(self.sim, request, "device"):
+                bus = self.buses[addr.bus]
+                yield bus.request()
+                try:
+                    yield self.sim.timeout(
+                        self._bus_transfer_ns(self.geometry.page_size))
+                finally:
+                    bus.release()
+                yield self.aurora.request()
+                try:
+                    yield self.sim.timeout(
+                        self.timing.aurora_latency_ns
+                        + self._aurora_transfer_ns(self.geometry.page_size))
+                finally:
+                    self.aurora.release()
             corrected_bits = 0
             if flips:
                 try:
@@ -172,7 +180,8 @@ class FlashCard:
         finally:
             self._tag_pool.put_nowait(tag)
 
-    def write_page(self, addr: PhysAddr, data: bytes):
+    def write_page(self, addr: PhysAddr, data: bytes,
+                   request: Optional[IORequest] = None):
         """Tagged page program.
 
         Timeline mirrors the paper's write flow: the command is issued,
@@ -182,39 +191,45 @@ class FlashCard:
         chip = self._chip(addr)
         if self.badblocks.is_bad(addr):
             raise ProgramError(f"program to bad block at {addr}")
-        tag = yield self._tag_pool.get()
+        with StageSpan(self.sim, request, "tag"):
+            tag = yield self._tag_pool.get()
         try:
-            yield self.sim.timeout(self.timing.cmd_overhead_ns)
-            yield self.aurora.request()
-            try:
-                yield self.sim.timeout(
-                    self.timing.aurora_latency_ns
-                    + self._aurora_transfer_ns(len(data)))
-            finally:
-                self.aurora.release()
-            bus = self.buses[addr.bus]
-            yield bus.request()
-            try:
-                yield self.sim.timeout(self._bus_transfer_ns(len(data)))
-            finally:
-                bus.release()
-            yield self.sim.process(chip.program(addr, data))
+            with StageSpan(self.sim, request, "storage"):
+                yield self.sim.timeout(self.timing.cmd_overhead_ns)
+            with StageSpan(self.sim, request, "device"):
+                yield self.aurora.request()
+                try:
+                    yield self.sim.timeout(
+                        self.timing.aurora_latency_ns
+                        + self._aurora_transfer_ns(len(data)))
+                finally:
+                    self.aurora.release()
+                bus = self.buses[addr.bus]
+                yield bus.request()
+                try:
+                    yield self.sim.timeout(self._bus_transfer_ns(len(data)))
+                finally:
+                    bus.release()
+            with StageSpan(self.sim, request, "storage"):
+                yield self.sim.process(chip.program(addr, data))
             self.writes.add()
             self.bytes_written.add(self.geometry.page_size)
         finally:
             self._tag_pool.put_nowait(tag)
 
-    def erase_block(self, addr: PhysAddr):
+    def erase_block(self, addr: PhysAddr, request: Optional[IORequest] = None):
         """Tagged block erase; retires the block on erase failure."""
         chip = self._chip(addr)
-        tag = yield self._tag_pool.get()
+        with StageSpan(self.sim, request, "tag"):
+            tag = yield self._tag_pool.get()
         try:
-            yield self.sim.timeout(self.timing.cmd_overhead_ns)
-            try:
-                yield self.sim.process(chip.erase(addr))
-            except EraseError:
-                self.badblocks.mark_bad(addr)
-                raise
+            with StageSpan(self.sim, request, "storage"):
+                yield self.sim.timeout(self.timing.cmd_overhead_ns)
+                try:
+                    yield self.sim.process(chip.erase(addr))
+                except EraseError:
+                    self.badblocks.mark_bad(addr)
+                    raise
             self.erases.add()
         finally:
             self._tag_pool.put_nowait(tag)

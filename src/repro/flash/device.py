@@ -55,15 +55,18 @@ class StorageDevice:
         return self.cards[addr.card]
 
     # -- routed operations (DES generators) ---------------------------------
-    def read_page(self, addr: PhysAddr):
-        result = yield self.sim.process(self._card(addr).read_page(addr))
+    def read_page(self, addr: PhysAddr, request=None):
+        result = yield self.sim.process(
+            self._card(addr).read_page(addr, request=request))
         return result
 
-    def write_page(self, addr: PhysAddr, data: bytes):
-        yield self.sim.process(self._card(addr).write_page(addr, data))
+    def write_page(self, addr: PhysAddr, data: bytes, request=None):
+        yield self.sim.process(
+            self._card(addr).write_page(addr, data, request=request))
 
-    def erase_block(self, addr: PhysAddr):
-        yield self.sim.process(self._card(addr).erase_block(addr))
+    def erase_block(self, addr: PhysAddr, request=None):
+        yield self.sim.process(
+            self._card(addr).erase_block(addr, request=request))
 
     # -- aggregates ----------------------------------------------------------
     @property

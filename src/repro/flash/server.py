@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from ..io import IOKind, IORequest
 from ..sim import Simulator, Store
 from .controller import ReadResult
 from .geometry import PhysAddr
@@ -83,16 +84,38 @@ class FlashServer:
     def translate(self, handle_id: int, page_offset: int) -> PhysAddr:
         return self.lookup(handle_id).translate(page_offset)
 
+    @property
+    def tracer(self):
+        """The request tracer attached to the underlying splitter."""
+        return self.port.splitter.tracer
+
     # -- in-order access -----------------------------------------------------
-    def read_page(self, addr: PhysAddr):
+    def read_page(self, addr: PhysAddr, request: Optional[IORequest] = None):
         """Single in-order read (blocking request/response)."""
-        result = yield self.sim.process(self.port.read_page(addr))
+        result = yield self.sim.process(
+            self.port.read_page(addr, request=request))
         return result
 
-    def read_file_page(self, handle_id: int, page_offset: int):
+    def read_file_page(self, handle_id: int, page_offset: int,
+                       request: Optional[IORequest] = None):
         """Read one page of a registered file by (handle, offset)."""
         addr = self.translate(handle_id, page_offset)
-        result = yield self.sim.process(self.port.read_page(addr))
+        result = yield self.sim.process(
+            self.port.read_page(addr, request=request))
+        return result
+
+    def _stream_read(self, addr: PhysAddr, request: Optional[IORequest]):
+        """One stream element: read, then wait in a page buffer.
+
+        The time between the tagged read completing and the in-order
+        stream consuming it is the cost of restoring FIFO order; it is
+        charged to the request's ``reorder`` stage (closed by
+        :meth:`stream_pages` when the element is emitted).
+        """
+        result = yield self.sim.process(
+            self.port.read_page(addr, request=request))
+        if request is not None:
+            request.enter("reorder", self.sim.now)
         return result
 
     def stream_pages(self, addrs: Sequence[PhysAddr], out: Store):
@@ -103,19 +126,42 @@ class FlashServer:
         into ``out`` in request order.  This is the FIFO-restoring
         completion buffer of Section 3.1.1/3.1.2.
 
+        When the splitter has a tracer, each page becomes a traced
+        :class:`~repro.io.request.IORequest` whose ``reorder`` stage
+        records the page-buffer dwell time.
+
         Run as a process: ``sim.process(server.stream_pages(addrs, out))``.
         """
         sim = self.sim
+        tracer = self.tracer
         pending: List = []
+
+        def issue(addr):
+            request = None
+            if tracer is not None:
+                request = tracer.start(
+                    IOKind.READ, addr, self.port.splitter.page_size,
+                    tenant=self.port.tenant, priority=self.port.priority)
+            pending.append(
+                (sim.process(self._stream_read(addr, request)), request))
+
+        def emit(result, request):
+            if request is not None:
+                request.exit("reorder", sim.now)
+                tracer.complete(request)
+            return result
+
         for addr in addrs:
-            pending.append(sim.process(self.port.read_page(addr)))
+            issue(addr)
             # Bound the number of outstanding requests (page buffers).
             while len(pending) >= self.queue_depth:
-                result = yield pending.pop(0)
-                yield out.put(result)
+                process, request = pending.pop(0)
+                result = yield process
+                yield out.put(emit(result, request))
         while pending:
-            result = yield pending.pop(0)
-            yield out.put(result)
+            process, request = pending.pop(0)
+            result = yield process
+            yield out.put(emit(result, request))
 
     def stream_file(self, handle_id: int, out: Store,
                     offsets: Optional[Iterable[int]] = None):

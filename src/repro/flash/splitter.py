@@ -1,4 +1,4 @@
-"""Flash Interface Splitter: shared access with tag renaming.
+"""Flash Interface Splitter: shared access with tag renaming and QoS.
 
 Multiple hardware endpoints need the one card interface — "local in-store
 processors, local host software over PCIe DMA, or remote in-store
@@ -6,13 +6,29 @@ processors over the network" (Section 3.1.2, Figure 3).  Each user gets a
 :class:`SplitterPort` with its own private tag space; the splitter renames
 user tags onto the card's physical tags and guarantees fairness by
 capping how many physical tags one user may hold.
+
+The splitter is built on the unified I/O pipeline
+(:mod:`repro.io`): every operation is an
+:class:`~repro.io.request.IORequest` carrying the port's tenant label,
+priority, and deadline; slot waits are charged to the request's
+``queue`` stage; and two scheduling points are policy-driven:
+
+* each port's in-flight cap is a
+  :class:`~repro.io.scheduler.ScheduledResource` (FIFO by default —
+  the seed behavior);
+* optionally, a shared *admission* stage arbitrates across ports with
+  any :class:`~repro.io.scheduler.SchedulerPolicy` (round-robin fair
+  share, strict priority, earliest deadline), bounding total in-flight
+  commands below the card's physical tag pool so the policy — not the
+  FIFO tag queue — decides who runs under contention.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List, Optional
 
-from ..sim import Counter, Resource, Simulator
+from ..io import IOKind, IORequest, RequestTracer, ScheduledResource, StageSpan
+from ..sim import Counter, Simulator
 from .controller import FlashCard, ReadResult
 from .geometry import PhysAddr
 
@@ -20,17 +36,48 @@ __all__ = ["FlashSplitter", "SplitterPort"]
 
 
 class SplitterPort:
-    """One user's view of the card: an independently-tagged interface."""
+    """One user's view of the card: an independently-tagged interface.
+
+    ``tenant``/``priority``/``deadline_ns`` are the QoS identity every
+    request issued through this port inherits (``deadline_ns`` is a
+    relative deadline applied at issue time; None means no deadline).
+    """
 
     def __init__(self, splitter: "FlashSplitter", user_id: int,
-                 max_in_flight: int):
+                 max_in_flight: int, tenant: Optional[str] = None,
+                 priority: int = 0, deadline_ns: Optional[int] = None):
         self.splitter = splitter
         self.user_id = user_id
-        self._slots = Resource(splitter.sim, capacity=max_in_flight,
-                               name=f"splitter-user{user_id}")
+        self.tenant = tenant or f"user{user_id}"
+        self.priority = priority
+        self.deadline_ns = deadline_ns
+        self._slots = ScheduledResource(splitter.sim,
+                                        capacity=max_in_flight,
+                                        policy="fifo",
+                                        name=f"splitter-{self.tenant}")
         self._next_user_tag = 0
         self.reads = Counter(f"user{user_id}-reads")
         self.writes = Counter(f"user{user_id}-writes")
+
+    @property
+    def max_in_flight(self) -> int:
+        return self._slots.capacity
+
+    @property
+    def in_flight(self) -> int:
+        """Commands this port currently holds slots for."""
+        return self._slots.in_use
+
+    @property
+    def queue_wait(self):
+        """Wait histogram for this port's own slot cap only.
+
+        Under a shared admission policy most queueing happens at
+        :attr:`FlashSplitter.admission` (see its ``wait_stats`` /
+        ``tenant_waits``); the full per-request queueing time — slot
+        plus admission — is the request ledger's ``queue`` stage.
+        """
+        return self._slots.wait_stats
 
     def _rename(self) -> int:
         """Allocate the next user-visible tag (monotonic per user)."""
@@ -38,36 +85,105 @@ class SplitterPort:
         self._next_user_tag += 1
         return tag
 
-    def read_page(self, addr: PhysAddr):
+    def _start(self, kind: IOKind, addr: PhysAddr, size: int,
+               request: Optional[IORequest]) -> tuple:
+        """Adopt the caller's request or open one of our own.
+
+        Returns ``(request, owned)`` — ``owned`` means this port created
+        the request and must complete it into the splitter's tracer.
+        """
+        if request is not None:
+            return request, False
+        tracer = self.splitter.tracer
+        if tracer is None:
+            return None, False
+        deadline = (None if self.deadline_ns is None
+                    else self.splitter.sim.now + self.deadline_ns)
+        return tracer.start(kind, addr, size, tenant=self.tenant,
+                            priority=self.priority,
+                            deadline_ns=deadline), True
+
+    def _admit(self, request: Optional[IORequest]):
+        """Acquire the port slot, then the shared admission slot (if any).
+
+        Both waits are charged to the request's ``queue`` stage.  The
+        priority/deadline forwarded to the scheduling policies come from
+        the request when it specifies them (end-to-end QoS), falling
+        back to the port's configured identity — so a request created
+        merely for tracing never demotes a port's QoS.
+        """
+        sim = self.splitter.sim
+        priority = self.priority
+        if request is not None and request.priority is not None:
+            priority = request.priority
+        deadline = None
+        if request is not None and request.deadline_ns is not None:
+            deadline = request.deadline_ns
+        elif self.deadline_ns is not None:
+            deadline = sim.now + self.deadline_ns
+        with StageSpan(sim, request, "queue"):
+            yield self._slots.request(tenant=self.tenant, priority=priority,
+                                      deadline_ns=deadline)
+            admission = self.splitter.admission
+            if admission is not None:
+                try:
+                    yield admission.request(tenant=self.tenant,
+                                            priority=priority,
+                                            deadline_ns=deadline)
+                except BaseException:
+                    self._slots.release()
+                    raise
+
+    def _retire(self) -> None:
+        admission = self.splitter.admission
+        if admission is not None:
+            admission.release()
+        self._slots.release()
+
+    def read_page(self, addr: PhysAddr, request: Optional[IORequest] = None):
         """Read via the shared card; returns :class:`ReadResult` whose tag
         is this user's renamed tag, not the card's physical tag."""
+        request, owned = self._start(IOKind.READ, addr,
+                                     self.splitter.page_size, request)
         user_tag = self._rename()
-        yield self._slots.request()
+        yield from self._admit(request)
         try:
             result = yield self.splitter.sim.process(
-                self.splitter.card.read_page(addr))
+                self.splitter.card.read_page(addr, request=request))
         finally:
-            self._slots.release()
+            self._retire()
         self.reads.add()
+        if owned:
+            self.splitter.tracer.complete(request)
         return ReadResult(result.addr, result.data, user_tag,
                           result.corrected_bits)
 
-    def write_page(self, addr: PhysAddr, data: bytes):
-        yield self._slots.request()
+    def write_page(self, addr: PhysAddr, data: bytes,
+                   request: Optional[IORequest] = None):
+        request, owned = self._start(IOKind.WRITE, addr, len(data), request)
+        self._rename()
+        yield from self._admit(request)
         try:
             yield self.splitter.sim.process(
-                self.splitter.card.write_page(addr, data))
+                self.splitter.card.write_page(addr, data, request=request))
         finally:
-            self._slots.release()
+            self._retire()
         self.writes.add()
+        if owned:
+            self.splitter.tracer.complete(request)
 
-    def erase_block(self, addr: PhysAddr):
-        yield self._slots.request()
+    def erase_block(self, addr: PhysAddr,
+                    request: Optional[IORequest] = None):
+        request, owned = self._start(IOKind.ERASE, addr, 0, request)
+        self._rename()
+        yield from self._admit(request)
         try:
             yield self.splitter.sim.process(
-                self.splitter.card.erase_block(addr))
+                self.splitter.card.erase_block(addr, request=request))
         finally:
-            self._slots.release()
+            self._retire()
+        if owned:
+            self.splitter.tracer.complete(request)
 
 
 class FlashSplitter:
@@ -79,23 +195,54 @@ class FlashSplitter:
 
     ``fair_share`` bounds each port's in-flight commands so one user
     cannot exhaust the target's physical tag pool and starve the rest.
+
+    ``policy`` (a name from :data:`repro.io.scheduler.POLICIES` or a
+    policy instance) enables the shared admission stage: at most
+    ``total_in_flight`` commands (default: the target's tag count) are
+    outstanding across *all* ports, and when a slot frees the policy
+    picks the next tenant.  ``tracer`` attaches end-to-end request
+    tracing to every operation issued through any port.
     """
 
     def __init__(self, sim: Simulator, card,
-                 fair_share: Optional[int] = None):
+                 fair_share: Optional[int] = None,
+                 policy=None, total_in_flight: Optional[int] = None,
+                 tracer: Optional[RequestTracer] = None):
         self.sim = sim
         self.card = card  # the flash target (card or device)
         self.fair_share = fair_share
+        self.tracer = tracer
         self.ports: List[SplitterPort] = []
+        self.admission: Optional[ScheduledResource] = None
+        if policy is not None:
+            capacity = total_in_flight or self.tag_count
+            self.admission = ScheduledResource(
+                sim, capacity=capacity, policy=policy,
+                name="splitter-admission")
 
     @property
     def tag_count(self) -> int:
         return getattr(self.card, "tag_count", 128)
 
-    def add_port(self, max_in_flight: Optional[int] = None) -> SplitterPort:
+    @property
+    def page_size(self) -> int:
+        geometry = getattr(self.card, "geometry", None)
+        return getattr(geometry, "page_size", 8192)
+
+    @property
+    def in_flight(self) -> int:
+        """Commands currently admitted across all ports."""
+        if self.admission is not None:
+            return self.admission.in_use
+        return sum(port.in_flight for port in self.ports)
+
+    def add_port(self, max_in_flight: Optional[int] = None,
+                 tenant: Optional[str] = None, priority: int = 0,
+                 deadline_ns: Optional[int] = None) -> SplitterPort:
         """Attach a new user; returns its private port."""
         limit = max_in_flight or self.fair_share or self.tag_count
         limit = min(limit, self.tag_count)
-        port = SplitterPort(self, len(self.ports), limit)
+        port = SplitterPort(self, len(self.ports), limit, tenant=tenant,
+                            priority=priority, deadline_ns=deadline_ns)
         self.ports.append(port)
         return port

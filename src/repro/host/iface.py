@@ -9,6 +9,13 @@ writes: syscall+driver -> free write buffer -> data copy + RPC ->
 
 The in-store processor path skips everything except the flash access —
 that difference is the core of Figures 12, 19, and 21.
+
+Requests ride the unified I/O pipeline: when a
+:class:`~repro.io.tracer.RequestTracer` is attached (or the caller
+passes its own :class:`~repro.io.request.IORequest`), kernel/driver and
+RPC time is charged to the ``software`` stage, buffer waits to
+``queue``, DMA to ``pcie``, and the completion interrupt to
+``interrupt``; the splitter and card charge their own stages below.
 """
 
 from __future__ import annotations
@@ -17,6 +24,7 @@ from typing import Optional
 
 from ..flash import PhysAddr, ReadResult
 from ..flash.splitter import SplitterPort
+from ..io import IOKind, IORequest, RequestTracer, StageSpan
 from ..sim import Counter, LatencyStats, Simulator
 from .buffers import PageBufferPool
 from .config import HostConfig
@@ -30,13 +38,17 @@ class HostInterface:
     """Software's RPC + DMA window onto the local storage device."""
 
     def __init__(self, sim: Simulator, config: HostConfig, cpu: HostCPU,
-                 pcie: PCIeLink, port: SplitterPort, page_size: int):
+                 pcie: PCIeLink, port: SplitterPort, page_size: int,
+                 tracer: Optional[RequestTracer] = None,
+                 tenant: str = "host"):
         self.sim = sim
         self.config = config
         self.cpu = cpu
         self.pcie = pcie
         self.port = port
         self.page_size = page_size
+        self.tracer = tracer
+        self.tenant = tenant
         self.read_buffers = PageBufferPool(sim, config.read_buffers,
                                            "read-buffers")
         self.write_buffers = PageBufferPool(sim, config.write_buffers,
@@ -46,7 +58,26 @@ class HostInterface:
         self.reads = Counter("host-reads")
         self.writes = Counter("host-writes")
 
-    def read_page(self, addr: PhysAddr, software_path: bool = True):
+    def _start(self, kind: IOKind, addr: PhysAddr, size: int,
+               request: Optional[IORequest]) -> tuple:
+        """Adopt the caller's request or open a traced one of our own.
+
+        Requests this interface creates inherit the QoS identity of the
+        splitter port it drives (priority and relative deadline), so the
+        host tenant competes under the admission policy as configured.
+        """
+        if request is not None:
+            return request, False
+        if self.tracer is None:
+            return None, False
+        deadline = (None if self.port.deadline_ns is None
+                    else self.sim.now + self.port.deadline_ns)
+        return self.tracer.start(kind, addr, size, tenant=self.tenant,
+                                 priority=self.port.priority,
+                                 deadline_ns=deadline), True
+
+    def read_page(self, addr: PhysAddr, software_path: bool = True,
+                  request: Optional[IORequest] = None):
         """Read one flash page into host memory (DES generator).
 
         ``software_path=False`` models a request issued by an already-
@@ -54,45 +85,71 @@ class HostInterface:
         used by baselines that batch requests.
         Returns the corrected page data.
         """
+        request, owned = self._start(IOKind.READ, addr, self.page_size,
+                                     request)
         start = self.sim.now
         if software_path:
-            yield self.sim.process(
-                self.cpu.compute(self.config.software_request_ns))
-        buffer_index = yield self.sim.process(self.read_buffers.acquire())
+            with StageSpan(self.sim, request, "software"):
+                yield self.sim.process(
+                    self.cpu.compute(self.config.software_request_ns))
+        with StageSpan(self.sim, request, "queue"):
+            buffer_index = yield self.sim.process(
+                self.read_buffers.acquire())
         try:
-            yield self.sim.timeout(self.config.rpc_ns)
+            with StageSpan(self.sim, request, "software"):
+                yield self.sim.timeout(self.config.rpc_ns)
             result: ReadResult = yield self.sim.process(
-                self.port.read_page(addr))
-            yield self.sim.process(
-                self.pcie.device_to_host(self.page_size))
-            yield self.sim.timeout(self.config.interrupt_ns)
+                self.port.read_page(addr, request=request))
+            with StageSpan(self.sim, request, "pcie"):
+                yield self.sim.process(
+                    self.pcie.device_to_host(self.page_size))
+            with StageSpan(self.sim, request, "interrupt"):
+                yield self.sim.timeout(self.config.interrupt_ns)
         finally:
             self.read_buffers.release(buffer_index)
         self.reads.add()
         self.read_latency.record(self.sim.now - start)
+        if owned:
+            self.tracer.complete(request)
         return result.data
 
     def write_page(self, addr: PhysAddr, data: bytes,
-                   software_path: bool = True):
+                   software_path: bool = True,
+                   request: Optional[IORequest] = None):
         """Write one page from host memory to flash (DES generator)."""
+        request, owned = self._start(IOKind.WRITE, addr, len(data), request)
         start = self.sim.now
         if software_path:
-            yield self.sim.process(
-                self.cpu.compute(self.config.software_request_ns))
-        buffer_index = yield self.sim.process(self.write_buffers.acquire())
+            with StageSpan(self.sim, request, "software"):
+                yield self.sim.process(
+                    self.cpu.compute(self.config.software_request_ns))
+        with StageSpan(self.sim, request, "queue"):
+            buffer_index = yield self.sim.process(
+                self.write_buffers.acquire())
         try:
-            yield self.sim.timeout(self.config.rpc_ns)
+            with StageSpan(self.sim, request, "software"):
+                yield self.sim.timeout(self.config.rpc_ns)
+            with StageSpan(self.sim, request, "pcie"):
+                yield self.sim.process(
+                    self.pcie.host_to_device(self.page_size))
             yield self.sim.process(
-                self.pcie.host_to_device(self.page_size))
-            yield self.sim.process(self.port.write_page(addr, data))
+                self.port.write_page(addr, data, request=request))
         finally:
             self.write_buffers.release(buffer_index)
         self.writes.add()
         self.write_latency.record(self.sim.now - start)
+        if owned:
+            self.tracer.complete(request)
 
-    def erase_block(self, addr: PhysAddr):
+    def erase_block(self, addr: PhysAddr,
+                    request: Optional[IORequest] = None):
         """Erase a block (driver-initiated; DES generator)."""
+        request, owned = self._start(IOKind.ERASE, addr, 0, request)
+        with StageSpan(self.sim, request, "software"):
+            yield self.sim.process(
+                self.cpu.compute(self.config.software_request_ns))
+            yield self.sim.timeout(self.config.rpc_ns)
         yield self.sim.process(
-            self.cpu.compute(self.config.software_request_ns))
-        yield self.sim.timeout(self.config.rpc_ns)
-        yield self.sim.process(self.port.erase_block(addr))
+            self.port.erase_block(addr, request=request))
+        if owned:
+            self.tracer.complete(request)

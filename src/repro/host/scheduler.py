@@ -5,39 +5,59 @@ compete for the same hardware acceleration units.  For efficient sharing
 of hardware resources, BlueDBM runs a scheduler that assigns available
 hardware-acceleration units to competing user-applications.  In our
 implementation, a simple FIFO-based policy is used."
+
+The paper's FIFO policy remains the default, but the scheduler is a
+thin wrapper over the unified pipeline's
+:class:`~repro.io.scheduler.ScheduledResource`: the policy-ordered
+grant queue, wait statistics, and per-application grant accounting all
+come from there; this class only adds unit-index bookkeeping.  Pass
+``policy="rr"`` (fair share across applications), ``"priority"`` or
+``"edf"`` — or a policy instance — and the same unit pool is arbitrated
+under that discipline.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, Tuple
+from typing import Deque, Dict, Optional
 
-from ..sim import Event, LatencyStats, Simulator
+from ..io import ScheduledResource
+from ..sim import Simulator
 
 __all__ = ["AcceleratorScheduler"]
 
 
 class AcceleratorScheduler:
-    """FIFO assignment of ``n_units`` identical accelerator units."""
+    """Policy-driven assignment of ``n_units`` identical accelerator units.
 
-    def __init__(self, sim: Simulator, n_units: int, name: str = "accel"):
+    With the default FIFO policy this is exactly the paper's scheduler;
+    other policies reorder *which waiting application* gets the next
+    free unit, nothing else.
+    """
+
+    def __init__(self, sim: Simulator, n_units: int, name: str = "accel",
+                 policy=None):
         if n_units < 1:
             raise ValueError(f"need at least one unit, got {n_units}")
         self.sim = sim
         self.name = name
         self.n_units = n_units
+        self._units = ScheduledResource(sim, capacity=n_units,
+                                        policy=policy, name=name)
         self._free: Deque[int] = deque(range(n_units))
-        self._waiters: Deque[Tuple[Event, str, int]] = deque()
-        self.wait_stats = LatencyStats(f"{name}-wait")
-        self.grants: Dict[str, int] = {}
 
-    def acquire(self, app_id: str):
-        """Claim a unit for ``app_id`` (DES generator -> unit index)."""
-        event = Event(self.sim)
-        self._waiters.append((event, app_id, self.sim.now))
-        self._dispatch()
-        unit = yield event
-        return unit
+    def acquire(self, app_id: str, priority: int = 0,
+                deadline_ns: Optional[int] = None):
+        """Claim a unit for ``app_id`` (DES generator -> unit index).
+
+        ``app_id`` doubles as the tenant for fair-share policies;
+        ``priority``/``deadline_ns`` feed the priority/EDF policies.
+        """
+        yield self._units.request(tenant=app_id, priority=priority,
+                                  deadline_ns=deadline_ns)
+        # A grant guarantees a free unit: grants in flight never exceed
+        # the resource capacity, which equals the unit count.
+        return self._free.popleft()
 
     def release(self, unit: int) -> None:
         """Return a unit to the pool."""
@@ -45,20 +65,28 @@ class AcceleratorScheduler:
             raise ValueError(f"unit {unit} out of range")
         if unit in self._free:
             raise ValueError(f"unit {unit} is already free")
+        self._units.release()
+        # The next grant's event is processed on a later step, so the
+        # unit is back in the pool before any waiter pops it.
         self._free.append(unit)
-        self._dispatch()
 
-    def _dispatch(self) -> None:
-        while self._waiters and self._free:
-            event, app_id, enqueued = self._waiters.popleft()
-            unit = self._free.popleft()
-            self.wait_stats.record(self.sim.now - enqueued)
-            self.grants[app_id] = self.grants.get(app_id, 0) + 1
-            event.succeed(unit)
+    @property
+    def policy(self):
+        return self._units.policy
+
+    @property
+    def wait_stats(self):
+        """Grant-wait histogram (exact min/mean/max, bucketed p50/p99)."""
+        return self._units.wait_stats
+
+    @property
+    def grants(self) -> Dict[str, int]:
+        """Units granted per application id."""
+        return self._units.grants
 
     @property
     def queue_depth(self) -> int:
-        return len(self._waiters)
+        return self._units.queue_depth
 
     @property
     def units_free(self) -> int:

@@ -1,0 +1,86 @@
+"""Stage protocol and timing spans for the unified request pipeline.
+
+A *stage* is any element a request passes through that costs simulated
+time: the host syscall path, a splitter admission queue, the flash
+array, a DMA engine.  Concrete models implement the :class:`Stage`
+protocol (a name plus a DES-generator ``process``); existing layers that
+interleave several concerns instead charge time to named stages with
+:class:`StageSpan`, which is safe to use around ``yield`` points because
+a span only reads the simulator clock from its own process.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Protocol, runtime_checkable
+
+from ..sim import Simulator
+from .request import IORequest
+
+__all__ = ["Stage", "StageSpan", "Pipeline"]
+
+
+@runtime_checkable
+class Stage(Protocol):
+    """A named pipeline element that processes one request at a time.
+
+    ``process`` is a DES generator: it may yield events/timeouts and
+    returns when the stage is done with the request.  Its return value
+    is passed through by :class:`Pipeline` (the last stage's return
+    value becomes the pipeline result).
+    """
+
+    name: str
+
+    def process(self, request: IORequest):  # pragma: no cover - protocol
+        ...
+
+
+class StageSpan:
+    """Charge the wall-clock of a ``with`` block to ``request``'s stage.
+
+    Usage inside a DES generator::
+
+        with StageSpan(sim, request, "software"):
+            yield sim.process(cpu.compute(cost))
+
+    ``request=None`` makes the span a no-op, so call sites don't need
+    to branch on whether tracing is attached.
+    """
+
+    __slots__ = ("sim", "request", "stage")
+
+    def __init__(self, sim: Simulator, request: Optional[IORequest],
+                 stage: str):
+        self.sim = sim
+        self.request = request
+        self.stage = stage
+
+    def __enter__(self) -> "StageSpan":
+        if self.request is not None:
+            self.request.enter(self.stage, self.sim.now)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self.request is not None:
+            self.request.exit(self.stage, self.sim.now)
+
+
+class Pipeline:
+    """Run a request through a fixed sequence of stages, timing each.
+
+    Each stage's processing time lands on the request's ledger under the
+    stage's own name.  ``run`` is a DES generator::
+
+        result = yield sim.process(pipeline.run(request))
+    """
+
+    def __init__(self, sim: Simulator, stages: Iterable[Stage]):
+        self.sim = sim
+        self.stages: List[Stage] = list(stages)
+
+    def run(self, request: IORequest):
+        result = None
+        for stage in self.stages:
+            with StageSpan(self.sim, request, stage.name):
+                result = yield self.sim.process(stage.process(request))
+        return result

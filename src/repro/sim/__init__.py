@@ -22,7 +22,13 @@ from .core import (
     Timeout,
 )
 from .resources import CreditPool, Gate, Resource, Store
-from .stats import BandwidthMeter, Counter, LatencyStats, UtilizationTracker
+from .stats import (
+    BandwidthMeter,
+    Counter,
+    LatencyHistogram,
+    LatencyStats,
+    UtilizationTracker,
+)
 from .trace import Probe, TraceRecord, Tracer
 from . import units
 
@@ -41,6 +47,7 @@ __all__ = [
     "Gate",
     "Counter",
     "LatencyStats",
+    "LatencyHistogram",
     "BandwidthMeter",
     "UtilizationTracker",
     "Tracer",

@@ -12,7 +12,8 @@ from typing import Dict, List, Optional
 from .core import Simulator
 from .units import bandwidth_gbps, bandwidth_gbytes
 
-__all__ = ["Counter", "LatencyStats", "BandwidthMeter", "UtilizationTracker"]
+__all__ = ["Counter", "LatencyStats", "LatencyHistogram", "BandwidthMeter",
+           "UtilizationTracker"]
 
 
 class Counter:
@@ -98,6 +99,108 @@ class LatencyStats:
             "p50_ns": self.percentile(50),
             "p99_ns": self.percentile(99),
         }
+
+
+class LatencyHistogram:
+    """Log₂-bucketed latency histogram with bounded memory.
+
+    :class:`LatencyStats` keeps every sample, which is exact but grows
+    with the workload; the per-stage tracing of heavy multi-tenant runs
+    wants O(1)-memory percentiles instead.  Samples land in power-of-two
+    nanosecond buckets (bucket *k* covers ``[2^(k-1), 2^k)``), and
+    percentiles linearly interpolate within the winning bucket — at most
+    a factor-of-two-wide bracket, plenty for p50/p99 shape assertions.
+    """
+
+    MAX_BUCKET = 63  # 2^63 ns ≈ 292 years of simulated time
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.buckets: List[int] = [0] * (self.MAX_BUCKET + 1)
+        self.count = 0
+        self.total_ns = 0
+        self.min_ns: Optional[int] = None
+        self.max_ns: Optional[int] = None
+
+    def record(self, latency_ns: int) -> None:
+        if latency_ns < 0:
+            raise ValueError(f"negative latency {latency_ns}")
+        index = min(int(latency_ns).bit_length(), self.MAX_BUCKET)
+        self.buckets[index] += 1
+        self.count += 1
+        self.total_ns += latency_ns
+        if self.min_ns is None or latency_ns < self.min_ns:
+            self.min_ns = latency_ns
+        if self.max_ns is None or latency_ns > self.max_ns:
+            self.max_ns = latency_ns
+
+    @property
+    def mean(self) -> float:
+        return self.total_ns / self.count if self.count else 0.0
+
+    @property
+    def minimum(self) -> int:
+        """Smallest recorded sample (exact); API parity with LatencyStats."""
+        return self.min_ns or 0
+
+    @property
+    def maximum(self) -> int:
+        """Largest recorded sample (exact); API parity with LatencyStats."""
+        return self.max_ns or 0
+
+    def percentile(self, p: float) -> float:
+        """Estimated percentile, p in [0, 100] (0 when empty)."""
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile {p} out of range")
+        if not self.count:
+            return 0.0
+        if self.min_ns == self.max_ns:
+            return float(self.min_ns)
+        target = (p / 100) * self.count
+        seen = 0
+        for index, bucket_count in enumerate(self.buckets):
+            if not bucket_count:
+                continue
+            if seen + bucket_count >= target:
+                low = 0 if index == 0 else 1 << (index - 1)
+                high = 1 << index
+                # Clamp the bracket to observed extremes so single-bucket
+                # histograms report exact values.
+                low = max(low, self.min_ns or 0)
+                high = min(high, (self.max_ns or 0) + 1)
+                if high <= low:
+                    return float(low)
+                frac = (target - seen) / bucket_count
+                return low + frac * (high - low)
+            seen += bucket_count
+        return float(self.max_ns or 0)
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold another histogram's samples into this one."""
+        for index, bucket_count in enumerate(other.buckets):
+            self.buckets[index] += bucket_count
+        self.count += other.count
+        self.total_ns += other.total_ns
+        if other.min_ns is not None and (self.min_ns is None
+                                         or other.min_ns < self.min_ns):
+            self.min_ns = other.min_ns
+        if other.max_ns is not None and (self.max_ns is None
+                                         or other.max_ns > self.max_ns):
+            self.max_ns = other.max_ns
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": float(self.count),
+            "mean_ns": self.mean,
+            "min_ns": float(self.min_ns or 0),
+            "max_ns": float(self.max_ns or 0),
+            "p50_ns": self.percentile(50),
+            "p99_ns": self.percentile(99),
+        }
+
+    def __repr__(self) -> str:
+        return (f"LatencyHistogram({self.name!r}, n={self.count}, "
+                f"p50≈{self.percentile(50):.0f}ns)")
 
 
 class BandwidthMeter:

@@ -1,0 +1,64 @@
+"""The hand-maintained experiments registry must not drift.
+
+``python -m repro experiments`` prints ``repro.__main__.EXPERIMENTS`` as
+the catalogue of everything the repo reproduces; nothing enforces that a
+newly-added benchmark file gets an entry.  This test closes the loop in
+both directions: every ``benchmarks/test_*.py`` matches a registry entry
+(entries may use glob patterns, e.g. ``test_ablation_*.py``), and every
+registry entry points at at least one real file.
+"""
+
+import fnmatch
+import pathlib
+
+from repro.__main__ import EXPERIMENTS
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_DIR = REPO_ROOT / "benchmarks"
+
+
+def _benchmark_files():
+    return sorted(p.name for p in BENCH_DIR.glob("test_*.py"))
+
+
+def _registry_patterns():
+    patterns = []
+    for _, _, path in EXPERIMENTS:
+        prefix = "benchmarks/"
+        assert path.startswith(prefix), (
+            f"registry path {path!r} does not live under benchmarks/")
+        patterns.append(path[len(prefix):])
+    return patterns
+
+
+def test_benchmarks_exist():
+    assert _benchmark_files(), "no benchmark files found — wrong layout?"
+
+
+def test_every_benchmark_is_registered():
+    patterns = _registry_patterns()
+    unregistered = [
+        name for name in _benchmark_files()
+        if not any(fnmatch.fnmatch(name, pattern) for pattern in patterns)
+    ]
+    assert not unregistered, (
+        f"benchmarks missing from repro.__main__.EXPERIMENTS: "
+        f"{unregistered} — add an entry so "
+        f"`python -m repro experiments` stays complete")
+
+
+def test_every_registry_entry_matches_a_file():
+    files = _benchmark_files()
+    stale = [
+        pattern for pattern in _registry_patterns()
+        if not any(fnmatch.fnmatch(name, pattern) for name in files)
+    ]
+    assert not stale, (
+        f"EXPERIMENTS entries with no matching benchmark file: {stale}")
+
+
+def test_registry_rows_are_well_formed():
+    for row in EXPERIMENTS:
+        assert len(row) == 3
+        exp_id, title, path = row
+        assert exp_id and title and path

@@ -1,0 +1,153 @@
+"""Property-style tests: splitter tag renaming under heavy contention.
+
+The splitter's contract (Section 3.1.2): each user sees a private,
+monotonic tag space; physical card tags never leak through a port; and
+a port can never hold more in-flight commands than its cap, no matter
+how reads, writes, and error paths interleave.  These tests drive many
+concurrent workers through interleaved read/write/error operations and
+check the invariants at every completion.
+"""
+
+import random
+
+import pytest
+
+from repro.flash import (
+    FlashCard,
+    FlashGeometry,
+    FlashSplitter,
+    PhysAddr,
+    UncorrectablePageError,
+)
+from repro.sim import Simulator
+
+GEO = FlashGeometry(buses_per_card=2, chips_per_bus=2, blocks_per_chip=4,
+                    pages_per_block=8, page_size=64, cards_per_node=1)
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def card(sim):
+    return FlashCard(sim, geometry=GEO)
+
+
+def _addr(rng):
+    return PhysAddr(bus=rng.randrange(GEO.buses_per_card),
+                    chip=rng.randrange(GEO.chips_per_bus),
+                    block=rng.randrange(GEO.blocks_per_chip),
+                    page=rng.randrange(GEO.pages_per_block))
+
+
+class TestTagRenamingUnderContention:
+    N_PORTS = 3
+    WORKERS_PER_PORT = 6
+    OPS_PER_WORKER = 8
+    CAP = 4
+
+    def _run(self, sim, card, policy=None, bad_pages=()):
+        """Drive interleaved reads/writes/errors; record every outcome."""
+        for addr in bad_pages:
+            card.badblocks.mark_bad(addr)
+        splitter = FlashSplitter(sim, card, fair_share=self.CAP,
+                                 policy=policy)
+        ports = [splitter.add_port() for _ in range(self.N_PORTS)]
+        seen_tags = {port.user_id: [] for port in ports}
+        max_in_flight = {port.user_id: 0 for port in ports}
+        errors = []
+        rng = random.Random(99)
+
+        def observe(port):
+            max_in_flight[port.user_id] = max(
+                max_in_flight[port.user_id], port.in_flight)
+
+        def worker(sim, port, ops):
+            for op, addr in ops:
+                try:
+                    if op == "read":
+                        result = yield sim.process(port.read_page(addr))
+                        seen_tags[port.user_id].append(result.tag)
+                    elif op == "write":
+                        # A fresh erased block region; program may still
+                        # hit an already-programmed page -> error path.
+                        yield sim.process(port.write_page(addr, b"w"))
+                    else:
+                        yield sim.process(port.erase_block(addr))
+                except Exception as exc:  # error paths must not leak slots
+                    errors.append(type(exc).__name__)
+                observe(port)
+
+        def monitor(sim):
+            # Sample port occupancy while traffic is in full flight.
+            for _ in range(200):
+                yield sim.timeout(500)
+                for port in ports:
+                    observe(port)
+
+        for port in ports:
+            for _ in range(self.WORKERS_PER_PORT):
+                ops = [(rng.choice(["read", "read", "write", "erase"]),
+                        _addr(rng))
+                       for _ in range(self.OPS_PER_WORKER)]
+                sim.process(worker(sim, port, ops))
+        sim.process(monitor(sim))
+        sim.run()
+        return splitter, ports, seen_tags, max_in_flight, errors
+
+    def test_user_tags_stay_private_and_monotonic(self, sim, card):
+        _, ports, seen_tags, _, _ = self._run(sim, card)
+        for user_id, tags in seen_tags.items():
+            # Tags are drawn from the port's private monotonic space:
+            # strictly increasing per port in completion order of issue,
+            # and never exceeding the number of commands the port issued.
+            assert all(0 <= t < GEO.pages_per_block * 1000 for t in tags)
+            assert len(set(tags)) == len(tags), (
+                f"user {user_id} saw a duplicate renamed tag")
+
+    def test_physical_tags_never_leak(self, sim, card):
+        """No port ever observes the card's physical tag pool directly:
+        every returned tag must be below the port's own issue counter,
+        while the card's 128-entry physical space is far larger."""
+        _, ports, seen_tags, _, _ = self._run(sim, card)
+        for port in ports:
+            issued = port._next_user_tag
+            for tag in seen_tags[port.user_id]:
+                assert tag < issued, (
+                    f"tag {tag} outside user space (issued {issued}) — "
+                    f"physical tag leaked")
+
+    def test_per_port_in_flight_caps_hold(self, sim, card):
+        _, ports, _, max_in_flight, _ = self._run(sim, card)
+        for port in ports:
+            assert max_in_flight[port.user_id] <= self.CAP
+
+    def test_error_paths_release_slots_and_tags(self, sim, card):
+        bad = [PhysAddr(bus=0, chip=0, block=1, page=p) for p in range(8)]
+        splitter, ports, _, max_in_flight, errors = self._run(
+            sim, card, bad_pages=bad)
+        # Some operations hit the bad block and raised.
+        assert errors, "expected at least one error-path operation"
+        # Yet nothing leaked: all slots returned...
+        for port in ports:
+            assert port.in_flight == 0
+        assert splitter.in_flight == 0
+        # ...and the card's physical tag pool is whole again.
+        assert card.in_flight == 0
+        assert len(card._tag_pool.items) == card.tag_count
+
+    @pytest.mark.parametrize("policy", [None, "fifo", "rr", "priority",
+                                        "edf"])
+    def test_invariants_hold_under_every_policy(self, sim, card, policy):
+        splitter, ports, seen_tags, max_in_flight, _ = self._run(
+            sim, card, policy=policy)
+        for port in ports:
+            assert max_in_flight[port.user_id] <= self.CAP
+            assert port.in_flight == 0
+            tags = seen_tags[port.user_id]
+            assert len(set(tags)) == len(tags)
+        assert card.in_flight == 0
+        if splitter.admission is not None:
+            assert splitter.admission.in_use == 0
