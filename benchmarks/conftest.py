@@ -1,10 +1,12 @@
 """Shared infrastructure for the benchmark harness.
 
-Every benchmark file reproduces one table or figure from the paper: it
-runs the simulation, prints the same rows/series the paper reports
-(with the paper's reference values alongside), saves the rendering to
-``benchmarks/results/``, and asserts the *shape* of the result —
-orderings, crossovers, rough factors — not absolute hardware numbers.
+Every benchmark file reproduces one table or figure from the paper.
+The *measurement* lives in :mod:`repro.experiments` behind the
+experiment registry (``repro run <id>`` executes the identical code);
+the benchmark file fetches the structured
+:class:`~repro.api.RunResult`, prints/saves the same rows the paper
+reports, and asserts the *shape* of the result — orderings,
+crossovers, rough factors — not absolute hardware numbers.
 
 Run with ``pytest benchmarks/ --benchmark-only``; add ``-s`` to see the
 tables inline.
@@ -18,20 +20,6 @@ import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
-# Shared scaled-down-but-faithful experiment configuration: the paper's
-# bus/chip structure (8x8 per card, two cards, 8 KB pages) with fewer
-# blocks so setup stays fast.  Bandwidth and latency are rate-based, so
-# results match the full-size geometry.
-from repro.flash import FlashGeometry, FlashTiming  # noqa: E402
-
-BENCH_GEO = FlashGeometry(buses_per_card=8, chips_per_bus=8,
-                          blocks_per_chip=16, pages_per_block=32,
-                          page_size=8192, cards_per_node=2)
-
-#: Throttles the node to the commodity SSD's 600 MB/s by capping each
-#: card's aurora link at 0.3 GB/s (Section 7.1's "Throttled BlueDBM").
-THROTTLED_TIMING = FlashTiming(aurora_bytes_per_ns=0.3)
-
 
 @pytest.fixture
 def report():
@@ -43,6 +31,15 @@ def report():
     return _report
 
 
+@pytest.fixture
+def report_tables(report):
+    """Print and persist every table of a :class:`RunResult`."""
+    def _report_tables(result) -> None:
+        for table in result.tables:
+            report(table.name, table.render())
+    return _report_tables
+
+
 def run_once(benchmark, fn):
     """Run a simulation exactly once under pytest-benchmark.
 
@@ -50,3 +47,9 @@ def run_once(benchmark, fn):
     identical simulations, so a single round is both faster and honest.
     """
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def run_registered(benchmark, exp_id: str):
+    """Run a registry experiment exactly once under pytest-benchmark."""
+    from repro.api import run_experiment
+    return run_once(benchmark, lambda: run_experiment(exp_id))

@@ -1,63 +1,26 @@
 """Ablation: host-side FTL over-provisioning vs write amplification.
 
-The paper moves flash management into host software (Section 3.1) so
-the system can manage spare area intelligently.  This ablation measures
-the classic trade-off that management faces: under sustained random
-overwrites, less over-provisioning means GC victims hold more valid
-pages, so every reclaimed block costs more copy traffic.
+Spec + assertions only (measurement: ``repro run ablation_ftl``).
+Under sustained random overwrites, less over-provisioning means GC
+victims hold more valid pages, so every reclaimed block costs more
+copy traffic.
 """
 
-import random
+from conftest import run_registered
 
-from conftest import run_once
-
-from repro.flash import FlashGeometry, FlashTiming
-from repro.flash.device import StorageDevice
-from repro.ftl import BlockDeviceFTL
-from repro.reporting import format_table
-from repro.sim import Simulator
-
-GEO = FlashGeometry(buses_per_card=2, chips_per_bus=2, blocks_per_chip=16,
-                    pages_per_block=16, page_size=1024, cards_per_node=1)
-FAST = FlashTiming(t_read_ns=1000, t_prog_ns=2000, t_erase_ns=5000,
-                   bus_bytes_per_ns=1.0, cmd_overhead_ns=10,
-                   aurora_latency_ns=10)
-OVERPROVISION = [0.10, 0.25, 0.50]
+from repro.experiments.ablations import OVERPROVISION
 
 
-def _write_amp(overprovision: float) -> tuple:
-    sim = Simulator()
-    device = StorageDevice(sim, geometry=GEO, timing=FAST)
-    ftl = BlockDeviceFTL(sim, device, overprovision=overprovision,
-                         gc_low_watermark=2)
-    rng = random.Random(5)
-    n_writes = 4 * GEO.pages_per_node
+def test_ablation_ftl_overprovisioning(benchmark, report_tables):
+    result = run_registered(benchmark, "ablation_ftl")
+    report_tables(result)
 
-    def workload(sim):
-        for i in range(n_writes):
-            lpn = rng.randrange(ftl.logical_pages)
-            yield from ftl.write(lpn, f"w{i}".encode())
-
-    sim.run_process(workload(sim))
-    return ftl.write_amplification, ftl.gc_runs
-
-
-def test_ablation_ftl_overprovisioning(benchmark, report):
-    results = run_once(
-        benchmark, lambda: {op: _write_amp(op) for op in OVERPROVISION})
-
-    report("ablation_ftl", format_table(
-        ["Over-provisioning", "Write amplification", "GC runs"],
-        [[f"{op:.0%}", f"{results[op][0]:.2f}", results[op][1]]
-         for op in OVERPROVISION],
-        title="Ablation: FTL spare area vs GC write amplification "
-              "(random overwrites, greedy victim selection)"))
-
-    wa = {op: results[op][0] for op in OVERPROVISION}
+    wa = result.metrics["write_amp"]
+    gc_runs = result.metrics["gc_runs"]
     # More spare area strictly reduces write amplification.
     assert wa[0.10] > wa[0.25] > wa[0.50]
     # 50% spare is near-ideal; 10% pays a substantial copy tax.
     assert wa[0.50] < 1.5
     assert wa[0.10] > 1.5
     # GC actually ran everywhere.
-    assert all(results[op][1] > 0 for op in OVERPROVISION)
+    assert all(gc_runs[op] > 0 for op in OVERPROVISION)

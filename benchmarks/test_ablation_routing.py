@@ -1,59 +1,19 @@
 """Ablation: deterministic per-endpoint routing over parallel lanes.
 
-Section 3.2.3: per-endpoint deterministic routes spread traffic over
-parallel cables *without* reordering packets.  The ablation compares a
-4-lane node pair driven by 1, 2 and 4 endpoints: one endpoint is pinned
-to one lane (8.2 Gbps); four endpoints use all four lanes (~32.8 Gbps)
-— and each endpoint's messages still arrive in FIFO order, which is the
-property that lets BlueDBM omit completion buffers.
+Spec + assertions only (measurement: ``repro run ablation_routing``).
+Section 3.2.3: one endpoint is pinned to one lane (8.2 Gbps); four
+endpoints use all four lanes (~32.8 Gbps) — and each endpoint's
+messages still arrive in FIFO order (asserted inside the experiment),
+which is the property that lets BlueDBM omit completion buffers.
 """
 
-from conftest import run_once
-
-from repro.network import StorageNetwork, line
-from repro.reporting import format_table
-from repro.sim import Simulator, units
-
-N_MESSAGES = 60
-SIZE = 512
+from conftest import run_registered
 
 
-def _aggregate_gbps(n_endpoints_used: int) -> float:
-    sim = Simulator()
-    net = StorageNetwork(sim, line(2, lanes=4), n_endpoints=4)
-    finished = []
-    order_ok = []
-
-    def sender(sim, ep):
-        for i in range(N_MESSAGES):
-            yield sim.process(net.endpoint(0, ep).send(1, i, SIZE))
-
-    def receiver(sim, ep):
-        got = []
-        for _ in range(N_MESSAGES):
-            message = yield sim.process(net.endpoint(1, ep).receive())
-            got.append(message.payload)
-        order_ok.append(got == list(range(N_MESSAGES)))
-        finished.append(sim.now)
-
-    for ep in range(n_endpoints_used):
-        sim.process(sender(sim, ep))
-        sim.process(receiver(sim, ep))
-    sim.run()
-    assert all(order_ok), "per-endpoint FIFO order violated"
-    total = n_endpoints_used * N_MESSAGES * SIZE
-    return units.bandwidth_gbps(total, max(finished))
-
-
-def test_ablation_endpoint_lane_spreading(benchmark, report):
-    results = run_once(
-        benchmark, lambda: {n: _aggregate_gbps(n) for n in (1, 2, 4)})
-
-    report("ablation_routing", format_table(
-        ["Endpoints", "Aggregate (Gb/s)", "Lanes used"],
-        [[n, f"{results[n]:.1f}", n] for n in (1, 2, 4)],
-        title="Ablation: endpoints spread over 4 parallel lanes "
-              "(one lane = 8.2 Gb/s payload)"))
+def test_ablation_endpoint_lane_spreading(benchmark, report_tables):
+    result = run_registered(benchmark, "ablation_routing")
+    report_tables(result)
+    results = result.metrics["rates"]
 
     # One endpoint cannot exceed its single deterministic lane.
     assert results[1] < 8.5

@@ -1,78 +1,20 @@
 """Ablation: bus-fastest vs chip-fastest sequential striping.
 
-Section 3.1.1's goal (ii) is "exposing all degrees of parallelism of
-the device".  *How* sequential data is striped decides whether parallel
-streaming readers can actually use that parallelism: with chip-fastest
-striping a run of consecutive pages sits on one bus, so concurrent
-sequential streams convoy onto a bus at a time; bus-fastest striping
-(what `FlashGeometry.striped` implements) spreads any run over every
-bus.  This ablation measures both layouts under the Figure 21-style
-many-stream sequential read pattern.
+Spec + assertions only (measurement: ``repro run ablation_striping``).
+Section 3.1.1's goal (ii) is "exposing all degrees of parallelism":
+with chip-fastest striping a run of consecutive pages sits on one bus,
+so concurrent sequential streams convoy onto a bus at a time;
+bus-fastest striping (what ``FlashGeometry.striped`` implements)
+spreads any run over every bus.
 """
 
-from conftest import run_once
-
-from repro.core import BlueDBMNode
-from repro.flash import FlashGeometry, PhysAddr
-from repro.reporting import format_table
-from repro.sim import Simulator, Store, units
-
-GEO = FlashGeometry(buses_per_card=8, chips_per_bus=8, blocks_per_chip=16,
-                    pages_per_block=32, page_size=8192, cards_per_node=1)
-N_PAGES = 512
-N_STREAMS = 32
+from conftest import run_registered
 
 
-def _chip_fastest(index: int) -> PhysAddr:
-    """The naive layout: consecutive pages fill a bus's chips first."""
-    n_units = GEO.buses_per_card * GEO.chips_per_bus
-    unit = index % n_units
-    offset = index // n_units
-    chip = unit % GEO.chips_per_bus
-    bus = unit // GEO.chips_per_bus
-    return PhysAddr(card=0, bus=bus, chip=chip,
-                    block=offset // GEO.pages_per_block,
-                    page=offset % GEO.pages_per_block)
-
-
-def _stream_bandwidth(layout) -> float:
-    sim = Simulator()
-    node = BlueDBMNode(sim, geometry=GEO, isp_queue_depth=4)
-    extents = [layout(i) for i in range(N_PAGES)]
-    for addr in extents:
-        node.device.store.program(addr, b"data")
-    handle = node.flash_server.register_file("f", extents)
-    per = N_PAGES // N_STREAMS
-    done = []
-
-    def consumer(k):
-        out = Store(sim, capacity=2)
-        sim.process(node.flash_server.stream_file(
-            handle.handle_id, out, offsets=range(k * per, (k + 1) * per)))
-        for _ in range(per):
-            yield out.get()
-        done.append(sim.now)
-
-    for k in range(N_STREAMS):
-        sim.process(consumer(k))
-    sim.run()
-    return units.bandwidth_gbytes(N_PAGES * GEO.page_size, max(done))
-
-
-def test_ablation_striping_order(benchmark, report):
-    def run():
-        return {
-            "bus-fastest (BlueDBM)": _stream_bandwidth(GEO.striped),
-            "chip-fastest (naive)": _stream_bandwidth(_chip_fastest),
-        }
-
-    results = run_once(benchmark, run)
-
-    report("ablation_striping", format_table(
-        ["Layout", "32-stream sequential read (GB/s)"],
-        [[name, f"{gbs:.2f}"] for name, gbs in results.items()],
-        title="Ablation: stripe order under parallel sequential streams "
-              "(card ceiling 1.2 GB/s)"))
+def test_ablation_striping_order(benchmark, report_tables):
+    result = run_registered(benchmark, "ablation_striping")
+    report_tables(result)
+    results = result.metrics["rates"]
 
     bus_first = results["bus-fastest (BlueDBM)"]
     chip_first = results["chip-fastest (naive)"]

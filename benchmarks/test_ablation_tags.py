@@ -1,58 +1,21 @@
 """Ablation: the tagged out-of-order flash interface.
 
-Section 3.1.1: "to saturate the bandwidth of the flash device, multiple
-commands must be in-flight at the same time, since flash operations can
-have latencies of 50 µs or more."  This ablation sweeps the tag-pool
-depth: with one tag the interface degenerates to a synchronous
+Spec + assertions only (measurement: ``repro run ablation_tags``).
+Section 3.1.1: with one tag the interface degenerates to a synchronous
 disk-style protocol and bandwidth collapses to 1/latency; bandwidth
 recovers roughly linearly until the pool covers the bandwidth-delay
 product of the card.
 """
 
-from conftest import run_once
+from conftest import run_registered
 
-from repro.flash import FlashCard, FlashGeometry, PhysAddr
-from repro.reporting import format_table
-from repro.sim import Simulator, units
-
-GEO = FlashGeometry(buses_per_card=8, chips_per_bus=8, blocks_per_chip=8,
-                    pages_per_block=16, page_size=8192, cards_per_node=1)
-TAG_COUNTS = [1, 4, 16, 64, 128]
-N_READS = 512
+from repro.experiments.ablations import TAG_COUNTS
 
 
-def _bandwidth(tags: int) -> float:
-    sim = Simulator()
-    card = FlashCard(sim, geometry=GEO, tags=tags)
-    done = []
-
-    def reader(sim, i):
-        yield sim.process(card.read_page(GEO.striped(i)))
-        done.append(sim.now)
-
-    def driver(sim):
-        pending = []
-        for i in range(N_READS):
-            pending.append(sim.process(reader(sim, i)))
-            if len(pending) >= 2 * tags + 8:
-                yield pending.pop(0)
-        for proc in pending:
-            yield proc
-
-    sim.run_process(driver(sim))
-    return units.bandwidth_gbytes(N_READS * GEO.page_size, max(done))
-
-
-def test_ablation_tag_pool_depth(benchmark, report):
-    results = run_once(
-        benchmark, lambda: {t: _bandwidth(t) for t in TAG_COUNTS})
-
-    report("ablation_tags", format_table(
-        ["Tags", "Bandwidth (GB/s)", "vs 1 tag"],
-        [[t, f"{results[t]:.3f}", f"{results[t] / results[1]:.1f}x"]
-         for t in TAG_COUNTS],
-        title="Ablation: in-flight command tags vs card bandwidth "
-              "(card ceiling 1.2 GB/s)"))
+def test_ablation_tag_pool_depth(benchmark, report_tables):
+    result = run_registered(benchmark, "ablation_tags")
+    report_tables(result)
+    results = result.metrics["rates"]
 
     # One tag = synchronous interface: ~1/latency ~ 0.07 GB/s.
     assert results[1] < 0.15

@@ -1,84 +1,25 @@
 """Extension: aggregate ISP bandwidth vs remote node count.
 
-Extends Figure 13 beyond the paper's 3-node measurement using the sweep
-utility: one node reads its local flash plus k remote nodes over two
-serial lanes each.  Aggregate bandwidth should grow by ~2 GB/s per
-remote until the reader's own resources (response endpoints, switch
-ports) become the limit — the scaling argument behind the 20-node rack.
+Spec + assertions only (measurement: ``repro run ext_scaling``).
+Extends Figure 13 beyond the paper's 3-node measurement: one node
+reads its local flash plus k remote nodes over two serial lanes each.
+Aggregate bandwidth should grow by ~2 GB/s per remote until the
+reader's own resources become the limit — the scaling argument behind
+the 20-node rack.
 """
 
-from conftest import BENCH_GEO, run_once
-
-from repro.analysis import sweep
-from repro.core import BlueDBMCluster
-from repro.network import NetworkConfig, Topology
-from repro.reporting import format_table
-from repro.sim import Simulator
-
-WINDOW_NS = 2_000_000
-NET_CONFIG = NetworkConfig(max_packet_payload=1024)
-LANES = 2
+from conftest import run_registered
 
 
-def _aggregate_gbs(n_remotes: int) -> float:
-    import random
-    sim = Simulator()
-    topo = Topology(1 + n_remotes)
-    for remote in range(1, n_remotes + 1):
-        for _ in range(LANES):
-            topo.connect(0, remote)
-    cluster = BlueDBMCluster(sim, 1 + n_remotes, topology=topo,
-                             network_config=NET_CONFIG,
-                             n_endpoints=1 + 2 * LANES,
-                             node_kwargs=dict(geometry=BENCH_GEO))
-    node = cluster.nodes[0]
-    count = [0]
+def test_ext_bandwidth_scaling(benchmark, report_tables):
+    result = run_registered(benchmark, "ext_scaling")
+    report_tables(result)
+    series = result.metrics["aggregate_gbs"]
 
-    def local_worker(wid):
-        rng = random.Random(wid)
-        while sim.now < WINDOW_NS:
-            addr = BENCH_GEO.striped(
-                rng.randrange(BENCH_GEO.pages_per_node))
-            yield sim.process(node.isp_read(addr))
-            count[0] += 1
-
-    def remote_worker(wid, remote):
-        rng = random.Random(1000 * remote + wid)
-        while sim.now < WINDOW_NS:
-            addr = BENCH_GEO.striped(
-                rng.randrange(BENCH_GEO.pages_per_node), node=remote)
-            yield from cluster.isp_remote_flash(0, addr)
-            count[0] += 1
-
-    for wid in range(128):
-        sim.process(local_worker(wid))
-    for remote in range(1, n_remotes + 1):
-        for wid in range(48 * LANES):
-            sim.process(remote_worker(wid, remote))
-    sim.run(until=WINDOW_NS)
-    return count[0] * BENCH_GEO.page_size / WINDOW_NS
-
-
-def test_ext_bandwidth_scaling(benchmark, report):
-    result = run_once(
-        benchmark,
-        lambda: sweep("remote nodes", [0, 1, 2, 3], _aggregate_gbs))
-
-    rows = [[n, f"{gbs:.2f}",
-             "local flash only" if n == 0
-             else f"+{LANES} serial lanes x {n} remotes"]
-            for n, gbs in zip(result.values, result.results)]
-    report("ext_scaling", format_table(
-        ["Remote nodes", "Aggregate (GB/s)", "Configuration"],
-        rows,
-        title="Extension: ISP bandwidth vs remote node count "
-              "(Figure 13 extended)"))
-
-    series = result.as_dict()
     # Local-only is the node's native flash rate.
     assert 2.0 < series[0] < 2.45
     # Each remote over 2 lanes adds ~2 GB/s.
     for n in (1, 2, 3):
         gain = series[n] - series[n - 1]
         assert 1.2 < gain < 2.3, f"remote {n} added {gain:.2f} GB/s"
-    assert result.is_monotone_increasing()
+    assert result.metrics["monotone"]

@@ -1,79 +1,29 @@
 """Extension: SQL filter offload vs selectivity (Section 8 future work).
 
-Not a paper figure — the evaluation the paper's planned "SQL Database
-Acceleration" would need: how does the in-store filter's advantage vary
-with predicate selectivity?  The in-store path ships only matching rows,
-so its PCIe traffic scales with selectivity; the host scan always ships
-every page.  At high selectivity both paths converge (everything must
-move anyway); at low selectivity the offload wins on data movement by
-orders of magnitude.
+Spec + assertions only (measurement: ``repro run ext_sql_offload``).
+The in-store path ships only matching rows, so its PCIe traffic scales
+with selectivity; the host scan always ships every page.  At high
+selectivity both paths converge; at low selectivity the offload wins
+on data movement by orders of magnitude.
 """
 
-from conftest import BENCH_GEO, run_once
+from conftest import run_registered
 
-from repro.apps.sql import FlashTable, TableScan, make_orders_table
-from repro.core import BlueDBMNode
-from repro.isp.filter import col
-from repro.reporting import format_table
-from repro.sim import Simulator
-
-N_ROWS = 4000
-# amount > threshold: thresholds chosen for ~1% / ~10% / ~50% selectivity.
-THRESHOLDS = [(9900, "1%"), (9000, "10%"), (5000, "50%")]
+from repro.experiments.ext import SQL_THRESHOLDS
 
 
-def _run_pair(threshold: int):
-    predicate = col("amount") > threshold
-    results = {}
-    for path in ("offloaded", "host_scan"):
-        sim = Simulator()
-        node = BlueDBMNode(sim, geometry=BENCH_GEO, isp_queue_depth=4)
-        schema, rows = make_orders_table(N_ROWS, seed=2)
-        table = FlashTable(node, "orders", schema)
-        sim.run_process(table.load(rows))
-        scan = TableScan(table, n_engines=8)
+def test_ext_sql_offload_selectivity(benchmark, report_tables):
+    result = run_registered(benchmark, "ext_sql_offload")
+    report_tables(result)
+    stats = result.metrics["stats"]
 
-        def proc(sim, scan=scan, path=path):
-            return (yield from getattr(scan, path)(predicate))
-
-        result, stats = sim.run_process(proc(sim))
-        results[path] = (result, stats)
-    # Both paths must agree exactly.
-    assert results["offloaded"][0] == results["host_scan"][0]
-    return results
-
-
-def test_ext_sql_offload_selectivity(benchmark, report):
-    results = run_once(
-        benchmark,
-        lambda: {label: _run_pair(thr) for thr, label in THRESHOLDS})
-
-    rows = []
-    for _, label in THRESHOLDS:
-        offl_stats = results[label]["offloaded"][1]
-        host_stats = results[label]["host_scan"][1]
-        rows.append([
-            label,
-            offl_stats["rows_returned"],
-            offl_stats["result_wire_bytes"],
-            host_stats["result_wire_bytes"],
-            f"{host_stats['result_wire_bytes'] / max(1, offl_stats['result_wire_bytes']):.0f}x",
-        ])
-    report("ext_sql_offload", format_table(
-        ["Selectivity", "Rows", "Offload wire B", "Host wire B",
-         "Movement saved"],
-        rows,
-        title="Extension: in-store SQL filtering vs selectivity "
-              "(result bytes over PCIe)"))
-
-    one = results["1%"]
-    fifty = results["50%"]
+    one = stats["1%"]
     # At ~1% selectivity the offload moves ~two orders of magnitude
     # less data over PCIe.
-    assert (one["host_scan"][1]["result_wire_bytes"]
-            > 50 * one["offloaded"][1]["result_wire_bytes"])
+    assert (one["host_scan"]["result_wire_bytes"]
+            > 50 * one["offloaded"]["result_wire_bytes"])
     # Advantage shrinks monotonically as selectivity rises.
-    saved = [results[label]["host_scan"][1]["result_wire_bytes"]
-             / max(1, results[label]["offloaded"][1]["result_wire_bytes"])
-             for _, label in THRESHOLDS]
+    saved = [stats[label]["host_scan"]["result_wire_bytes"]
+             / max(1, stats[label]["offloaded"]["result_wire_bytes"])
+             for _, label in SQL_THRESHOLDS]
     assert saved[0] > saved[1] > saved[2]

@@ -1,95 +1,38 @@
 """Figure 11: integrated network bandwidth and latency vs hop count.
 
-Paper: a single 128-bit-packet stream sustains 8.2 Gbps/lane across 1-5
-hops; per-hop latency is 0.48 µs.  Also checks the Section 6.3 ring
-analytics: a 20-node, 4-lane ring averages ~5 hops (~2.5 µs) and offers
-32.8 Gbps of ring throughput.
+Spec + assertions only (measurement: ``repro run fig11`` /
+``repro run fig11_ring``).  Paper: a single 128-bit-packet stream
+sustains 8.2 Gbps/lane across 1-5 hops; per-hop latency is 0.48 µs;
+the 20-node 4-lane ring averages ~5 hops and 32.8 Gbps.
 """
 
-from conftest import run_once
+from conftest import run_registered
 
-from repro.network import NetworkConfig, StorageNetwork, line, ring
-from repro.reporting import format_series, format_table
-from repro.sim import Simulator, units
-
-MAX_HOPS = 5
-STREAM_MESSAGES = 60
-MESSAGE_BYTES = 512
+from repro.network import NetworkConfig
 
 
-def _measure_hops(hops: int):
-    """One stream over ``hops`` hops -> (payload_gbps, latency_us)."""
-    sim = Simulator()
-    net = StorageNetwork(sim, line(hops + 1), n_endpoints=1)
-    done = {}
+def test_fig11_network_bandwidth_latency(benchmark, report_tables):
+    result = run_registered(benchmark, "fig11")
+    report_tables(result)
 
-    def sender(sim):
-        # Latency probe: one small (single-flit) message first.
-        yield sim.process(net.endpoint(0, 0).send(hops, "probe", 16))
-        for i in range(STREAM_MESSAGES):
-            yield sim.process(
-                net.endpoint(0, 0).send(hops, i, MESSAGE_BYTES))
-
-    def receiver(sim):
-        yield sim.process(net.endpoint(hops, 0).receive())
-        done["latency"] = sim.now
-        t0 = sim.now
-        for _ in range(STREAM_MESSAGES):
-            yield sim.process(net.endpoint(hops, 0).receive())
-        done["stream_ns"] = sim.now - t0
-
-    sim.process(sender(sim))
-    sim.process(receiver(sim))
-    sim.run()
-    gbps = units.bandwidth_gbps(
-        STREAM_MESSAGES * MESSAGE_BYTES, done["stream_ns"])
-    return gbps, units.to_us(done["latency"])
-
-
-def test_fig11_network_bandwidth_latency(benchmark, report):
-    def run():
-        return [_measure_hops(h) for h in range(1, MAX_HOPS + 1)]
-
-    results = run_once(benchmark, run)
-    gbps = [r[0] for r in results]
-    latency = [r[1] for r in results]
-
-    report("fig11_network", format_series(
-        "hops", list(range(1, MAX_HOPS + 1)),
-        {"bandwidth (Gb/s, paper 8.2)": [round(g, 2) for g in gbps],
-         "latency (us, paper 0.48/hop)": [round(l, 2) for l in latency]},
-        title="Figure 11: integrated network performance"))
-
+    gbps = result.metrics["gbps"]
+    latency = result.metrics["latency_us"]
     # Bandwidth: ~8.2 Gbps per stream, flat across hops.
     for g in gbps:
         assert 7.0 < g < 8.5
     assert max(gbps) - min(gbps) < 0.8
     # Latency: linear in hops at ~0.5 us per hop.
-    for h, l in zip(range(1, MAX_HOPS + 1), latency):
+    for h, l in zip(result.series["hops"], latency):
         assert l / h <= 0.6
         assert l / h >= 0.45
     # Protocol overhead under 18% (Section 6.3).
     assert NetworkConfig().protocol_efficiency >= 0.82 - 0.01
 
 
-def test_fig11_ring_analytics(benchmark, report):
-    def run():
-        sim = Simulator()
-        net = StorageNetwork(sim, ring(20, lanes=4), n_endpoints=4)
-        return net
+def test_fig11_ring_analytics(benchmark, report_tables):
+    result = run_registered(benchmark, "fig11_ring")
+    report_tables(result)
 
-    net = run_once(benchmark, run)
-    avg_hops = net.average_hop_count()
-    avg_latency_us = avg_hops * units.to_us(net.config.hop_latency_ns)
-    ring_gbps = 4 * net.config.payload_gbps  # 4 lanes across the cut
-
-    report("fig11_ring_analytics", format_table(
-        ["Metric", "Measured", "Paper"],
-        [["average hops to remote node", f"{avg_hops:.2f}", "5"],
-         ["average latency (us)", f"{avg_latency_us:.2f}", "2.5"],
-         ["ring throughput (Gb/s)", f"{ring_gbps:.1f}", "32.8"]],
-        title="Section 6.3: 20-node 4-lane ring analytics"))
-
-    assert 5.0 <= avg_hops <= 5.5
-    assert 2.4 <= avg_latency_us <= 2.7
-    assert abs(ring_gbps - 32.8) < 0.5
+    assert 5.0 <= result.metrics["avg_hops"] <= 5.5
+    assert 2.4 <= result.metrics["avg_latency_us"] <= 2.7
+    assert abs(result.metrics["ring_gbps"] - 32.8) < 0.5

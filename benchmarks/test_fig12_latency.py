@@ -1,84 +1,48 @@
 """Figure 12: latency breakdown of remote 8 KB page access.
 
-Four access paths (ISP-F, H-F, H-RH-F, H-D), each split into software /
-storage / data-transfer / network components (Figure 14's taxonomy).
-The paper's qualitative results reproduced here:
+Spec + assertions only (measurement: ``repro run fig12``).  The
+paper's qualitative results:
 
 * ISP-F is the fastest flash path (no software anywhere);
 * H-F adds one host's software + PCIe; H-RH-F adds the remote host too
   and is the slowest; H-D has no flash storage component;
 * network latency is insignificant in every path.
+
+The table also carries traced mean/p99 columns from the unified
+request tracer (the ROADMAP "p99 next to the means" item).
 """
 
-from conftest import BENCH_GEO, run_once
+from conftest import run_registered
 
-from repro.core import BlueDBMCluster
-from repro.flash import PhysAddr
-from repro.reporting import format_table
-from repro.sim import Simulator, units
-
-PATHS = ["ISP-F", "H-F", "H-RH-F", "H-D"]
+from repro.experiments.fig12 import PATHS
+from repro.sim import units
 
 
-def _measure():
-    results = {}
-    for path in PATHS:
-        sim = Simulator()
-        cluster = BlueDBMCluster(sim, 3,
-                                 node_kwargs=dict(geometry=BENCH_GEO))
-        addr = PhysAddr(node=1, page=3)
-        cluster.nodes[1].device.store.program(addr, b"remote page data")
-        cluster.nodes[1].dram.store(0, b"remote dram data")
+def test_fig12_remote_access_latency_breakdown(benchmark, report_tables):
+    result = run_registered(benchmark, "fig12")
+    report_tables(result)
 
-        def proc(sim, path=path, cluster=cluster, addr=addr):
-            if path == "ISP-F":
-                _, bd = yield from cluster.isp_remote_flash(0, addr)
-            elif path == "H-F":
-                _, bd = yield from cluster.host_remote_flash(0, addr)
-            elif path == "H-RH-F":
-                _, bd = yield from cluster.host_remote_via_host(0, addr)
-            else:
-                _, bd = yield from cluster.host_remote_dram(0, 1, 0)
-            return bd
-
-        results[path] = sim.run_process(proc(sim))
-    return results
-
-
-def test_fig12_remote_access_latency_breakdown(benchmark, report):
-    results = run_once(benchmark, _measure)
-
-    rows = []
-    for path in PATHS:
-        bd = results[path]
-        rows.append([
-            path,
-            f"{units.to_us(bd.software):.1f}",
-            f"{units.to_us(bd.storage):.1f}",
-            f"{units.to_us(bd.transfer):.1f}",
-            f"{units.to_us(bd.network):.2f}",
-            f"{units.to_us(bd.total):.1f}",
-        ])
-    report("fig12_latency_breakdown", format_table(
-        ["Access", "Software(us)", "Storage(us)", "Transfer(us)",
-         "Network(us)", "Total(us)"],
-        rows,
-        title="Figure 12: latency of remote data access "
-              "(paper shape: ISP-F < H-F < H-RH-F; H-D no storage)"))
-
-    isp_f, h_f = results["ISP-F"], results["H-F"]
-    h_rh_f, h_d = results["H-RH-F"], results["H-D"]
+    bd = {path: result.metrics[path]["breakdown"] for path in PATHS}
+    total = {path: result.metrics[path]["total_ns"] for path in PATHS}
     # Ordering of the flash paths.
-    assert isp_f.total < h_f.total < h_rh_f.total
+    assert total["ISP-F"] < total["H-F"] < total["H-RH-F"]
     # ISP-F pays no software latency at all.
-    assert isp_f.software == 0
+    assert bd["ISP-F"]["software"] == 0
     # H-D serves from DRAM: no flash storage-access component, and its
     # data-transfer time is lower than the flash paths'.
-    assert h_d.storage == 0
-    assert h_d.total < h_rh_f.total
+    assert bd["H-D"]["storage"] == 0
+    assert total["H-D"] < total["H-RH-F"]
     # "Notice in all 4 cases, the network latency is insignificant."
-    for bd in results.values():
-        assert bd.network < 0.05 * bd.total
+    for path in PATHS:
+        assert bd[path]["network"] < 0.05 * total[path]
     # Totals are in the paper's regime (tens to ~350 us, not ms).
-    for bd in results.values():
-        assert 50 * units.US < bd.total < 400 * units.US
+    for path in PATHS:
+        assert 50 * units.US < total[path] < 400 * units.US
+    # The traced histograms agree with the analytic totals: these are
+    # deterministic, uncontended repetitions, so mean == first total
+    # and p99 sits within the histogram bracket of it.
+    for path in PATHS:
+        traced = result.metrics[path]
+        assert traced["count"] > 1
+        assert abs(traced["mean_ns"] - total[path]) < 0.02 * total[path]
+        assert traced["p99_ns"] >= traced["mean_ns"] * 0.98

@@ -1,6 +1,9 @@
 """Figure 13: storage access bandwidth under four scenarios.
 
-Paper values (random 8 KB reads):
+Spec + assertions only: the four scenarios are declarative
+:class:`~repro.api.ScenarioSpec`s in :mod:`repro.experiments.fig13`,
+executed by the shared :class:`~repro.api.Session` closed-loop driver
+(``repro run fig13``).  Paper values (random 8 KB reads):
 
 * Host-Local  — 1.6 GB/s (PCIe-capped, below the flash's 2.4);
 * ISP-Local   — 2.4 GB/s (both cards fully busy);
@@ -13,113 +16,13 @@ Methodology: closed-loop readers keep every source saturated for a
 fixed simulated window; bandwidth = bytes delivered / window.
 """
 
-import random
-
-from conftest import BENCH_GEO, run_once
-
-from repro.core import BlueDBMCluster
-from repro.network import NetworkConfig, Topology
-from repro.reporting import format_table
-from repro.sim import Simulator, units
-
-WINDOW_NS = 2_500_000  # 2.5 ms of simulated time
-NET_CONFIG = NetworkConfig(max_packet_payload=1024)
+from conftest import run_registered
 
 
-def _closed_loop(sim, fetch_factory, n_workers, window_ns, counter):
-    """Spawn workers that loop fetches until the window closes."""
-    deadline = window_ns
-
-    def worker(wid):
-        rng = random.Random(wid)
-        while sim.now < deadline:
-            yield from fetch_factory(rng)
-            counter[0] += 1
-
-    for wid in range(n_workers):
-        sim.process(worker(wid))
-
-
-def _host_local():
-    sim = Simulator()
-    cluster = BlueDBMCluster(sim, 2, network_config=NET_CONFIG,
-                             node_kwargs=dict(geometry=BENCH_GEO))
-    node = cluster.nodes[0]
-    count = [0]
-
-    def fetch(rng):
-        addr = BENCH_GEO.striped(rng.randrange(BENCH_GEO.pages_per_node))
-        yield sim.process(node.host_read(addr, software_path=False))
-
-    _closed_loop(sim, fetch, 64, WINDOW_NS, count)
-    sim.run(until=WINDOW_NS)
-    return count[0] * BENCH_GEO.page_size / WINDOW_NS
-
-
-def _isp_local():
-    sim = Simulator()
-    cluster = BlueDBMCluster(sim, 2, network_config=NET_CONFIG,
-                             node_kwargs=dict(geometry=BENCH_GEO))
-    node = cluster.nodes[0]
-    count = [0]
-
-    def fetch(rng):
-        addr = BENCH_GEO.striped(rng.randrange(BENCH_GEO.pages_per_node))
-        yield sim.process(node.isp_read(addr))
-
-    _closed_loop(sim, fetch, 128, WINDOW_NS, count)
-    sim.run(until=WINDOW_NS)
-    return count[0] * BENCH_GEO.page_size / WINDOW_NS
-
-
-def _isp_multi(n_remotes, lanes_per_remote):
-    """Local ISP reads + remote reads from ``n_remotes`` nodes."""
-    sim = Simulator()
-    topo = Topology(1 + n_remotes)
-    for remote in range(1, n_remotes + 1):
-        for _ in range(lanes_per_remote):
-            topo.connect(0, remote)
-    # 1 request endpoint + 4 response endpoints: responses spread evenly
-    # over the parallel lanes (deterministic per-endpoint routing).
-    cluster = BlueDBMCluster(sim, 1 + n_remotes, topology=topo,
-                             network_config=NET_CONFIG, n_endpoints=5,
-                             node_kwargs=dict(geometry=BENCH_GEO))
-    node = cluster.nodes[0]
-    count = [0]
-
-    def local_fetch(rng):
-        addr = BENCH_GEO.striped(rng.randrange(BENCH_GEO.pages_per_node))
-        yield sim.process(node.isp_read(addr))
-
-    _closed_loop(sim, local_fetch, 128, WINDOW_NS, count)
-    for remote in range(1, n_remotes + 1):
-        def remote_fetch(rng, remote=remote):
-            addr = BENCH_GEO.striped(
-                rng.randrange(BENCH_GEO.pages_per_node), node=remote)
-            yield from cluster.isp_remote_flash(0, addr)
-
-        _closed_loop(sim, remote_fetch, 48 * lanes_per_remote,
-                     WINDOW_NS, count)
-    sim.run(until=WINDOW_NS)
-    return count[0] * BENCH_GEO.page_size / WINDOW_NS
-
-
-def test_fig13_storage_bandwidth(benchmark, report):
-    def run():
-        return {
-            "Host-Local": _host_local(),
-            "ISP-Local": _isp_local(),
-            "ISP-2Nodes": _isp_multi(1, 1),
-            "ISP-3Nodes": _isp_multi(2, 2),
-        }
-
-    results = run_once(benchmark, run)
-    paper = {"Host-Local": 1.6, "ISP-Local": 2.4, "ISP-2Nodes": 3.4,
-             "ISP-3Nodes": 6.5}
-    report("fig13_bandwidth", format_table(
-        ["Access Type", "Measured (GB/s)", "Paper (GB/s)"],
-        [[name, f"{results[name]:.2f}", paper[name]] for name in paper],
-        title="Figure 13: bandwidth of data access in BlueDBM"))
+def test_fig13_storage_bandwidth(benchmark, report_tables):
+    result = run_registered(benchmark, "fig13")
+    report_tables(result)
+    results = result.metrics["bandwidth_gbs"]
 
     # Host-Local is PCIe-capped near 1.6 GB/s, clearly below ISP-Local.
     assert 1.3 < results["Host-Local"] <= 1.65

@@ -1,6 +1,7 @@
 """Figure 16: nearest neighbour — BlueDBM vs DRAM-resident software.
 
-Paper takeaways reproduced here:
+Spec + assertions only (measurement: ``repro run fig16``).  Paper
+takeaways:
 
 1. "BlueDBM can keep up with DRAM-resident data for up to 4 threads" —
    one node's 320K cmp/s equals ~4 host threads; with more threads the
@@ -9,33 +10,18 @@ Paper takeaways reproduced here:
    cuts its throughput proportionally.
 """
 
-import nn_common
-from conftest import run_once
+from conftest import run_registered
 
-from repro.reporting import format_series
-
-THREADS = [2, 4, 6, 8, 10, 12, 14, 16]
-# Effective random-8KB host memory bandwidth for the DRAM-resident
-# baseline (hash + fetch path), which caps the curve at high threads.
-DRAM_GBS = 5.0
+from repro.experiments.nn import FIG16_THREADS
 
 
-def test_fig16_nn_thread_scaling(benchmark, report):
-    def run():
-        dram = [nn_common.software_rate(t, "dram", dram_gbs=DRAM_GBS)
-                for t in THREADS]
-        baseline = nn_common.isp_rate(throttled=False)
-        throttled = nn_common.isp_rate(throttled=True)
-        return dram, baseline, throttled
+def test_fig16_nn_thread_scaling(benchmark, report_tables):
+    result = run_registered(benchmark, "fig16")
+    report_tables(result)
 
-    dram, baseline, throttled = run_once(benchmark, run)
-
-    report("fig16_nn_scaling", format_series(
-        "threads", THREADS,
-        {"H-DRAM (cmp/s)": [round(r) for r in dram],
-         "1 Node (cmp/s, paper 320K)": [round(baseline)] * len(THREADS),
-         "Throttled (cmp/s)": [round(throttled)] * len(THREADS)},
-        title="Figure 16: nearest neighbour with BlueDBM vs host DRAM"))
+    dram = result.metrics["dram"]
+    baseline = result.metrics["baseline"]
+    throttled = result.metrics["throttled"]
 
     # One node ~= 2.4 GB/s / 8 KB ~= 293K cmp/s (paper: 320K).
     assert 250_000 < baseline < 330_000
@@ -43,7 +29,7 @@ def test_fig16_nn_thread_scaling(benchmark, report):
     assert 0.2 < throttled / baseline < 0.35
     # DRAM loses below ~4 threads, wins with enough threads.
     assert dram[0] < baseline            # 2 threads: BlueDBM ahead
-    at4 = dram[THREADS.index(4)]
+    at4 = dram[FIG16_THREADS.index(4)]
     assert abs(at4 - baseline) / baseline < 0.35   # ~break-even at 4
     assert dram[-1] > 1.5 * baseline     # 16 threads: DRAM ahead
     # The DRAM curve saturates as memory bandwidth runs out.

@@ -1,46 +1,29 @@
 """Figure 17: the RAMCloud cliff — nearest neighbour with mostly DRAM.
 
-Paper: "the performance of ram cloud (H-DRAM) falls off very sharply if
-even a small fraction of data does not reside in DRAM.  Assuming 8
-threads, the performance drops from 350K ... to < 80K and < 10K
-comparisons per second for DRAM + 10% Flash and DRAM + 5% Disk" — while
-(throttled) BlueDBM sits unaffected, because *all* its data is in flash
-it can read at device speed.
+Spec + assertions only (measurement: ``repro run fig17``).  Paper:
+"the performance of ram cloud (H-DRAM) falls off very sharply if even
+a small fraction of data does not reside in DRAM.  Assuming 8 threads,
+the performance drops from 350K ... to < 80K and < 10K comparisons per
+second for DRAM + 10% Flash and DRAM + 5% Disk" — while (throttled)
+BlueDBM sits unaffected, because *all* its data is in flash it can
+read at device speed.
 """
 
-import nn_common
-from conftest import run_once
+from conftest import run_registered
 
-from repro.reporting import format_series
-
-THREADS = [1, 2, 3, 4, 5, 6, 7, 8]
+from repro.experiments.nn import FIG17_THREADS
 
 
-def test_fig17_dram_cliff(benchmark, report):
-    def run():
-        dram = [nn_common.software_rate(t, "dram") for t in THREADS]
-        flash10 = [nn_common.software_rate(t, "dram+ssd",
-                                           miss_fraction=0.10)
-                   for t in THREADS]
-        disk5 = [nn_common.software_rate(t, "dram+hdd",
-                                         miss_fraction=0.05)
-                 for t in THREADS]
-        isp = nn_common.isp_rate(throttled=True)
-        return dram, flash10, disk5, isp
+def test_fig17_dram_cliff(benchmark, report_tables):
+    result = run_registered(benchmark, "fig17")
+    report_tables(result)
 
-    dram, flash10, disk5, isp = run_once(benchmark, run)
+    dram = result.metrics["dram"]
+    flash10 = result.metrics["flash10"]
+    disk5 = result.metrics["disk5"]
+    isp = result.metrics["isp"]
 
-    report("fig17_nn_dram_cliff", format_series(
-        "threads", THREADS,
-        {"DRAM": [round(r) for r in dram],
-         "ISP (throttled)": [round(isp)] * len(THREADS),
-         "10% Flash": [round(r) for r in flash10],
-         "5% Disk": [round(r) for r in disk5]},
-        title="Figure 17: nearest neighbour with mostly-DRAM storage "
-              "(paper at 8 threads: DRAM 350K, 10% flash <80K, "
-              "5% disk <10K)"))
-
-    i8 = THREADS.index(8)
+    i8 = FIG17_THREADS.index(8)
     # Pure DRAM scales with threads and beats everything at 8 threads.
     assert dram[i8] > 500_000
     assert dram[i8] > 3 * flash10[i8]

@@ -1,39 +1,26 @@
 """Figure 18: nearest neighbour on an off-the-shelf SSD.
 
-Paper: random access on the commodity SSD (H-RFlash) "is poor as
-compared to even throttled BlueDBM.  However, when we artificially
-arranged the data accesses to be sequential, the performance improved
-dramatically, sometimes matching throttled BlueDBM.  This suggests that
-the Off-the-shelf SSD may be optimized for sequential accesses."
+Spec + assertions only (measurement: ``repro run fig18``).  Paper:
+random access on the commodity SSD (H-RFlash) "is poor as compared to
+even throttled BlueDBM.  However, when we artificially arranged the
+data accesses to be sequential, the performance improved dramatically,
+sometimes matching throttled BlueDBM."
 """
 
-import nn_common
-from conftest import run_once
+from conftest import run_registered
 
-from repro.reporting import format_series
-
-THREADS = [1, 2, 3, 4, 5, 6, 7, 8]
+from repro.experiments.nn import FIG17_THREADS
 
 
-def test_fig18_commodity_ssd(benchmark, report):
-    def run():
-        rand = [nn_common.software_rate(t, "ssd") for t in THREADS]
-        seq = [nn_common.software_rate(t, "ssd", sequential=True)
-               for t in THREADS]
-        isp = nn_common.isp_rate(throttled=True)
-        return rand, seq, isp
+def test_fig18_commodity_ssd(benchmark, report_tables):
+    result = run_registered(benchmark, "fig18")
+    report_tables(result)
 
-    rand, seq, isp = run_once(benchmark, run)
+    rand = result.metrics["random"]
+    seq = result.metrics["sequential"]
+    isp = result.metrics["isp"]
 
-    report("fig18_nn_ssd", format_series(
-        "threads", THREADS,
-        {"ISP (throttled)": [round(isp)] * len(THREADS),
-         "Seq Flash": [round(r) for r in seq],
-         "Full Flash (random)": [round(r) for r in rand]},
-        title="Figure 18: nearest neighbour on off-the-shelf SSD "
-              "(paper: random poor, sequential ~matches throttled ISP)"))
-
-    i8 = THREADS.index(8)
+    i8 = FIG17_THREADS.index(8)
     # Random access is clearly worse than sequential at every thread
     # count, and well below throttled BlueDBM.
     for r, s in zip(rand, seq):

@@ -1,45 +1,23 @@
 """Figure 19: the value of in-store processing itself.
 
-Paper: comparing throttled BlueDBM with ISP against the same hardware
-driven by host software, "the accelerator advantage is at least 20%.
-Had we not throttled BlueDBM, the advantage would have been 30% or
-more.  This is because while the in-store processor can process data at
-full flash bandwidth, the software will be bottlenecked by the PCIe
-bandwidth at 1.6GB/s."
+Spec + assertions only (measurement: ``repro run fig19``).  Paper:
+comparing throttled BlueDBM with ISP against the same hardware driven
+by host software, "the accelerator advantage is at least 20%.  Had we
+not throttled BlueDBM, the advantage would have been 30% or more ...
+the software will be bottlenecked by the PCIe bandwidth at 1.6GB/s."
 """
 
-import nn_common
-from conftest import run_once
-
-from repro.reporting import format_series, format_table
-
-THREADS = [1, 2, 3, 4, 5, 6, 7, 8]
+from conftest import run_registered
 
 
-def test_fig19_isp_vs_software(benchmark, report):
-    def run():
-        software = [nn_common.software_rate(t, "bluedbm-t")
-                    for t in THREADS]
-        isp_throttled = nn_common.isp_rate(throttled=True)
-        isp_full = nn_common.isp_rate(throttled=False)
-        software_pipelined = nn_common.pipelined_host_rate(
-            n_comparisons=2048)
-        return software, isp_throttled, isp_full, software_pipelined
+def test_fig19_isp_vs_software(benchmark, report_tables):
+    result = run_registered(benchmark, "fig19")
+    report_tables(result)
 
-    software, isp_t, isp_full, sw_pipe = run_once(benchmark, run)
-
-    report("fig19_nn_isp", format_series(
-        "threads", THREADS,
-        {"ISP (throttled)": [round(isp_t)] * len(THREADS),
-         "BlueDBM+SW (throttled)": [round(r) for r in software]},
-        title="Figure 19: nearest neighbour with in-store processing "
-              "(paper: ISP >= 20% over host software)"))
-    report("fig19_unthrottled", format_table(
-        ["Configuration", "cmp/s"],
-        [["ISP, full bandwidth", round(isp_full)],
-         ["Host software, pipelined (PCIe-bound)", round(sw_pipe)]],
-        title="Figure 19 discussion: unthrottled — software hits the "
-              "1.6 GB/s PCIe wall (paper: ISP advantage 30%+)"))
+    software = result.metrics["software"]
+    isp_t = result.metrics["isp_throttled"]
+    isp_full = result.metrics["isp_full"]
+    sw_pipe = result.metrics["software_pipelined"]
 
     best_sw = max(software)
     # Throttled: the ISP holds at least a ~20% advantage.

@@ -1,57 +1,26 @@
 """Figure 20: distributed graph traversal throughput.
 
-Dependent page-chain lookups across a 3-node cluster under the six
-access configurations.  Paper claims reproduced:
+Spec + assertions only (measurement: ``repro run fig20``).  Paper
+claims:
 
 * "the integrated storage network and in-store processor together show
   almost a factor of 3 performance improvement over generic distributed
   SSD" (ISP-F vs H-RH-F);
 * "even when 50% of the accesses can be accommodated by DRAM,
   performance of BlueDBM is still much higher" (ISP-F vs DRAM+50%F);
-* H-F sits between ISP-F and H-RH-F (network integration helps even
-  when software drives);
+* H-F sits between ISP-F and H-RH-F;
 * all-DRAM remote serving (H-DRAM) is the fastest software config.
 """
 
-from conftest import BENCH_GEO, run_once
+from conftest import run_registered
 
-from repro.apps import DistributedGraph, GraphTraversal
-from repro.core import BlueDBMCluster
-from repro.reporting import format_table
-from repro.sim import Simulator
-
-CONFIGS = ["isp-f", "h-f", "h-rh-f", "dram-50f", "dram-30f", "h-dram"]
-LABELS = {"isp-f": "ISP-F", "h-f": "H-F", "h-rh-f": "H-RH-F",
-          "dram-50f": "50%F", "dram-30f": "30%F", "h-dram": "H-DRAM"}
-N_VERTICES = 600
-STEPS = 120
+from repro.experiments.fig20 import CONFIGS
 
 
-def _measure(config: str) -> float:
-    sim = Simulator()
-    cluster = BlueDBMCluster(sim, 3, node_kwargs=dict(geometry=BENCH_GEO))
-    graph = DistributedGraph(cluster, N_VERTICES, avg_degree=6, seed=13)
-    traversal = GraphTraversal(graph, home_node=0, seed=13)
-
-    def proc(sim):
-        rate, paths = yield from traversal.run(config, 1, STEPS)
-        return rate, paths
-
-    rate, paths = sim.run_process(proc(sim))
-    assert paths[0] == graph.reference_walk(1, STEPS), config
-    return rate
-
-
-def test_fig20_graph_traversal(benchmark, report):
-    results = run_once(
-        benchmark, lambda: {c: _measure(c) for c in CONFIGS})
-
-    report("fig20_graph", format_table(
-        ["Access Type", "Lookups/s"],
-        [[LABELS[c], round(results[c])] for c in CONFIGS],
-        title="Figure 20: graph traversal performance "
-              "(paper shape: ISP-F ~3x H-RH-F, ISP-F > 50%F, "
-              "H-DRAM best software config)"))
+def test_fig20_graph_traversal(benchmark, report_tables):
+    result = run_registered(benchmark, "fig20")
+    report_tables(result)
+    results = result.metrics["rates"]
 
     isp = results["isp-f"]
     # ISP-F vs the generic distributed-SSD path: "almost a factor of 3".

@@ -1,107 +1,34 @@
 """Figure 21: string search bandwidth and host CPU utilization.
 
-Paper: "the parallel MP engines in BlueDBM are able to process a search
-at 1.1GB/s, which is 92% of the maximum sequential bandwidth a single
-flash board ... the query consumes almost no CPU cycles ... This is
-7.5x faster than software string search (Grep) on hard disks, which is
-I/O bound by disk bandwidth and consumes 13% CPU.  On SSD, software
-string search remains I/O bound by the storage device, but CPU
-utilization increases significantly to 65%."
-
-The search file lives on one flash card (the paper's single-board
-figure); all three configurations search the same haystack and must
-find exactly the same (oracle-verified) matches.
+Spec + assertions only (measurement: ``repro run fig21``).  Paper:
+"the parallel MP engines in BlueDBM are able to process a search at
+1.1GB/s, which is 92% of the maximum sequential bandwidth a single
+flash board ... This is 7.5x faster than software string search (Grep)
+on hard disks ... On SSD, software string search remains I/O bound by
+the storage device, but CPU utilization increases significantly to
+65%."  All three configurations search the same haystack and must find
+exactly the same (oracle-verified) matches.
 """
 
-from conftest import run_once
-
-from repro.apps import SoftwareGrep, StringSearchISP, make_text_corpus
-from repro.core import BlueDBMNode
-from repro.devices import CommoditySSD, HardDisk
-from repro.flash import FlashGeometry
-from repro.host import HostConfig, HostCPU
-from repro.isp import mp_search
-from repro.reporting import format_table
-from repro.sim import Simulator
-
-# One flash board (card): 8 buses -> 1.2 GB/s, as in the paper's figure.
-ONE_CARD = FlashGeometry(buses_per_card=8, chips_per_bus=8,
-                         blocks_per_chip=16, pages_per_block=32,
-                         page_size=8192, cards_per_node=1)
-NEEDLE = b"BlueDBM-needle"
-CORPUS_BYTES = 1024 * 8192  # 8 MB haystack
-N_MATCHES = 20
+from conftest import run_registered
 
 
-def _corpus():
-    return make_text_corpus(CORPUS_BYTES, NEEDLE, N_MATCHES, seed=21)
+def test_fig21_string_search(benchmark, report_tables):
+    result = run_registered(benchmark, "fig21")
+    report_tables(result)
 
-
-def _isp():
-    sim = Simulator()
-    # Per-stream queue depth 4: "4 read commands can saturate a single
-    # flash bus" (Section 7.3); 32 engines x 4 = the card's 128 tags.
-    node = BlueDBMNode(sim, geometry=ONE_CARD, isp_queue_depth=4)
-    app = StringSearchISP(node, engines_per_bus=4)
-    corpus, expected = _corpus()
-
-    def proc(sim):
-        yield from app.setup(corpus)
-        return (yield from app.run(NEEDLE))
-
-    matches, gbs, cpu = sim.run_process(proc(sim))
-    assert matches == expected
-    return gbs, cpu
-
-
-def _grep(device_factory):
-    sim = Simulator()
-    cpu = HostCPU(sim, HostConfig())
-    grep = SoftwareGrep(sim, cpu, device_factory(sim))
-    corpus, expected = _corpus()
-    n_pages = grep.load(corpus)
-
-    def proc(sim):
-        return (yield from grep.run(NEEDLE, n_pages))
-
-    matches, gbs, util = sim.run_process(proc(sim))
-    assert matches == expected
-    return gbs, util
-
-
-def test_fig21_string_search(benchmark, report):
-    def run():
-        return {
-            "Flash/ISP": _isp(),
-            "Flash/SW Grep": _grep(lambda s: CommoditySSD(s)),
-            "HDD/SW Grep": _grep(lambda s: HardDisk(s)),
-        }
-
-    results = run_once(benchmark, run)
-    paper = {"Flash/ISP": ("1100", "~0%"),
-             "Flash/SW Grep": ("600", "65%"),
-             "HDD/SW Grep": ("147", "13%")}
-    rows = []
-    for name, (gbs, cpu) in results.items():
-        rows.append([name, f"{gbs * 1000:.0f}", f"{cpu:.0%}",
-                     paper[name][0], paper[name][1]])
-    report("fig21_strsearch", format_table(
-        ["Search Method", "MB/s", "CPU", "Paper MB/s", "Paper CPU"],
-        rows,
-        title="Figure 21: string search bandwidth and CPU utilization"))
-
-    isp_gbs, isp_cpu = results["Flash/ISP"]
-    ssd_gbs, ssd_cpu = results["Flash/SW Grep"]
-    hdd_gbs, hdd_cpu = results["HDD/SW Grep"]
+    isp = result.metrics["Flash/ISP"]
+    ssd = result.metrics["Flash/SW Grep"]
+    hdd = result.metrics["HDD/SW Grep"]
     # ISP searches at ~90% of the board's 1.2 GB/s with ~zero host CPU.
-    assert 1.0 < isp_gbs <= 1.2
-    assert isp_gbs / 1.2 > 0.85
-    assert isp_cpu < 0.05
+    assert 1.0 < isp["gbs"] <= 1.2
+    assert isp["gbs"] / 1.2 > 0.85
+    assert isp["cpu"] < 0.05
     # SSD grep: I/O bound at the device's 0.6 GB/s, ~65% of one core.
-    assert 0.5 < ssd_gbs <= 0.62
-    assert 0.5 < ssd_cpu < 0.8
+    assert 0.5 < ssd["gbs"] <= 0.62
+    assert 0.5 < ssd["cpu"] < 0.8
     # HDD grep: ~7.5x slower than the ISP, low CPU.
-    assert 6.0 < isp_gbs / hdd_gbs < 9.0
-    assert hdd_cpu < 0.25
+    assert 6.0 < isp["gbs"] / hdd["gbs"] < 9.0
+    assert hdd["cpu"] < 0.25
     # Ordering.
-    assert isp_gbs > ssd_gbs > hdd_gbs
+    assert isp["gbs"] > ssd["gbs"] > hdd["gbs"]

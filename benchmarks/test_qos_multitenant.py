@@ -1,15 +1,11 @@
 """QoS extension: multi-tenant contention on one splitter, four policies.
 
-A workload class the paper's FIFO-only scheduler cannot express: the
-node's three splitter tenants — local in-store processors (``isp``),
-local *host software* (``host``, paying the full syscall/RPC/PCIe
-path), and the remote-request network service (``net``) — hammer one
-storage device concurrently.  The ``net`` tenant is a 12x aggressor;
-admission to the card is bounded so the scheduling policy, not the
-physical tag pool, decides who runs.  The scenario itself lives in
-:mod:`repro.analysis.qos` (shared with ``examples/multitenant.py``).
+Spec + assertions only: the scenario is a declarative
+:class:`~repro.api.ScenarioSpec` built by
+:func:`repro.analysis.qos.qos_scenario` and executed through the
+shared :class:`~repro.api.Session` (``repro run qos``).
 
-Measured per tenant and per policy: completions, IOPS, p50/p99
+Measured per tenant and per policy: completions, IOPS, mean/p50/p99
 end-to-end latency (from the unified request tracer), and deadline
 misses.  The paper-shaped expectations:
 
@@ -20,45 +16,15 @@ misses.  The paper-shaped expectations:
   FIFO.
 """
 
-from conftest import BENCH_GEO, run_once
+from conftest import run_registered
 
-from repro.analysis.qos import QOS_POLICIES, QOS_TENANTS, run_policy
-from repro.reporting import format_table
-from repro.sim import units
-
-DURATION_NS = 20_000_000  # 20 ms of closed-loop hammering
+from repro.analysis.qos import QOS_POLICIES, QOS_TENANTS
 
 
-def _measure():
-    results = {}
-    for policy in QOS_POLICIES:
-        tracer = run_policy(policy, BENCH_GEO, DURATION_NS)
-        results[policy] = tracer.tenant_summary(tracer.sim.now)
-    return results
-
-
-def test_qos_multitenant_policies(benchmark, report):
-    results = run_once(benchmark, _measure)
-
-    rows = []
-    for policy in QOS_POLICIES:
-        for tenant in QOS_TENANTS:
-            stats = results[policy][tenant]
-            rows.append([
-                policy, tenant,
-                f"{stats['completed']:.0f}",
-                f"{stats['iops'] / 1000:.1f}",
-                f"{units.to_us(stats['p50_ns']):.0f}",
-                f"{units.to_us(stats['p99_ns']):.0f}",
-                f"{stats['deadline_misses']:.0f}",
-            ])
-    report("qos_multitenant", format_table(
-        ["Policy", "Tenant", "Done", "kIOPS", "p50(us)", "p99(us)",
-         "Missed"],
-        rows,
-        title="QoS: per-tenant latency under a 12x aggressor "
-              "(admission=8 slots, shapes: rr/priority/edf bound victim "
-              "p99 vs FIFO)"))
+def test_qos_multitenant_policies(benchmark, report_tables):
+    result = run_registered(benchmark, "qos")
+    report_tables(result)
+    results = result.metrics["policies"]
 
     fifo, rr = results["fifo"], results["rr"]
     prio, edf = results["priority"], results["edf"]

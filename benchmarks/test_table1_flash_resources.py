@@ -1,46 +1,29 @@
 """Table 1: flash controller resource usage on the Artix-7.
 
-Regenerates the paper's table from the parametric resource model and
-checks the totals and utilization fractions the paper reports.
+Spec + assertions only: the measurement is the registry's ``table1``
+experiment (``repro run table1``).  Checks the totals and utilization
+fractions the paper reports.
 """
 
-from conftest import run_once
-
-from repro.flash import DEFAULT_GEOMETRY
-from repro.reporting import artix7_flash_controller, format_table, totals
-from repro.reporting.resources import ARTIX7_BRAM, ARTIX7_LUTS, ARTIX7_REGS
+from conftest import run_registered
 
 
-def test_table1_flash_controller_resources(benchmark, report):
-    rows = run_once(benchmark, lambda: artix7_flash_controller(
-        DEFAULT_GEOMETRY))
+def test_table1_flash_controller_resources(benchmark, report_tables):
+    result = run_registered(benchmark, "table1")
+    report_tables(result)
 
-    table_rows = [
-        [r.name, r.count, r.luts, r.registers, r.bram] for r in rows
-    ]
-    total = totals(rows)
-    table_rows.append([
-        f"Artix-7 Total ({total.total_luts / ARTIX7_LUTS:.0%} LUTs, "
-        f"{total.total_registers / ARTIX7_REGS:.0%} regs, "
-        f"{total.total_bram / ARTIX7_BRAM:.0%} BRAM)",
-        "", total.total_luts, total.total_registers, total.total_bram,
-    ])
-    report("table1_flash_resources", format_table(
-        ["Module Name", "#", "LUTs", "Registers", "BRAM"], table_rows,
-        title="Table 1: Flash controller on Artix-7 resource usage "
-              "(paper total: 75225 LUTs / 56%)"))
-
-    by_name = {r.name: r for r in rows}
+    modules = result.metrics["modules"]
+    total = result.metrics["total"]
     # The paper's per-module numbers are reproduced exactly.
-    assert by_name["Bus Controller"].count == 8
-    assert by_name["Bus Controller"].luts == 7131
-    assert by_name["ECC Decoder"].count == 2
-    assert by_name["ECC Decoder"].luts == 1790
-    assert by_name["Scoreboard"].luts == 1149
-    assert by_name["PHY"].luts == 1635
-    assert by_name["ECC Encoder"].luts == 565
-    assert by_name["SerDes"].luts == 3061
+    assert modules["Bus Controller"]["count"] == 8
+    assert modules["Bus Controller"]["luts"] == 7131
+    assert modules["ECC Decoder"]["count"] == 2
+    assert modules["ECC Decoder"]["luts"] == 1790
+    assert modules["Scoreboard"]["luts"] == 1149
+    assert modules["PHY"]["luts"] == 1635
+    assert modules["ECC Encoder"]["luts"] == 565
+    assert modules["SerDes"]["luts"] == 3061
     # Totals: 75225 LUTs = 56% of the Artix-7, BRAM at 50%.
-    assert total.total_luts == 75_225
-    assert abs(total.total_luts / ARTIX7_LUTS - 0.56) < 0.01
-    assert abs(total.total_bram / ARTIX7_BRAM - 0.50) < 0.01
+    assert total["luts"] == 75_225
+    assert abs(total["lut_fraction"] - 0.56) < 0.01
+    assert abs(total["bram_fraction"] - 0.50) < 0.01

@@ -1,44 +1,25 @@
 """Table 2: host-side design resource usage on the Virtex-7.
 
-Regenerates the table and checks the paper's headline: under half the
-Virtex-7 is used, leaving "enough space for accelerator development".
+Spec + assertions only (measurement: ``repro run table2``).  Checks the
+paper's headline: under half the Virtex-7 is used, leaving "enough
+space for accelerator development".
 """
 
-from conftest import run_once
-
-from repro.host import HostConfig
-from repro.reporting import (
-    fits_virtex7,
-    format_table,
-    totals,
-    virtex7_host,
-)
-from repro.reporting.resources import VIRTEX7_LUTS, VIRTEX7_REGS
+from conftest import run_registered
 
 
-def test_table2_host_resources(benchmark, report):
-    rows = run_once(benchmark, lambda: virtex7_host(host=HostConfig()))
+def test_table2_host_resources(benchmark, report_tables):
+    result = run_registered(benchmark, "table2")
+    report_tables(result)
 
-    total = totals(rows)
-    table_rows = [[r.name, r.count, r.total_luts, r.total_registers,
-                   r.total_bram] for r in rows]
-    table_rows.append([
-        f"Virtex-7 Total ({total.total_luts / VIRTEX7_LUTS:.0%} LUTs, "
-        f"{total.total_registers / VIRTEX7_REGS:.0%} regs)",
-        "", total.total_luts, total.total_registers, total.total_bram,
-    ])
-    report("table2_host_resources", format_table(
-        ["Module Name", "#", "LUTs", "Registers", "RAMB36"], table_rows,
-        title="Table 2: Host Virtex-7 resource usage "
-              "(paper total: 135271 LUTs / 45%)"))
-
-    by_name = {r.name: r for r in rows}
+    modules = result.metrics["modules"]
+    total = result.metrics["total"]
     # Per-module numbers within rounding of the paper's table.
-    assert abs(by_name["Flash Interface"].total_luts - 1389) <= 5
-    assert abs(by_name["Network Interface"].total_luts - 29_591) <= 8
-    assert by_name["DRAM Interface"].total_luts == 11_045
-    assert abs(by_name["Host Interface"].total_luts - 88_376) <= 8
+    assert abs(modules["Flash Interface"]["luts"] - 1389) <= 5
+    assert abs(modules["Network Interface"]["luts"] - 29_591) <= 8
+    assert modules["DRAM Interface"]["luts"] == 11_045
+    assert abs(modules["Host Interface"]["luts"] - 88_376) <= 8
     # Totals: ~135K LUTs, ~45% utilization, room for accelerators.
-    assert abs(total.total_luts - 135_271) < 200
-    assert abs(total.total_luts / VIRTEX7_LUTS - 0.45) < 0.01
-    assert fits_virtex7(rows)
+    assert abs(total["luts"] - 135_271) < 200
+    assert abs(total["lut_fraction"] - 0.45) < 0.01
+    assert result.metrics["fits_virtex7"]

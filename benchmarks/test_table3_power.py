@@ -1,40 +1,18 @@
 """Table 3: estimated power consumption.
 
-Regenerates the component table and checks both paper claims: BlueDBM
-adds < 20 % to node power, and a DRAM cloud of equal capacity burns an
-order of magnitude more power.
+Spec + assertions only (measurement: ``repro run table3``).  Checks
+both paper claims: BlueDBM adds < 20 % to node power, and a DRAM cloud
+of equal capacity burns an order of magnitude more power.
 """
 
-from conftest import run_once
-
-from repro.reporting import (
-    NodePower,
-    PowerModel,
-    format_table,
-    ramcloud_equivalent,
-)
+from conftest import run_registered
 
 
-def test_table3_power(benchmark, report):
-    node = run_once(benchmark, NodePower)
+def test_table3_power(benchmark, report_tables):
+    result = run_registered(benchmark, "table3")
+    report_tables(result)
 
-    rows = [[name, watts] for name, watts in node.rows().items()]
-    report("table3_power", format_table(
-        ["Component", "Power (Watts)"], rows,
-        title="Table 3: BlueDBM estimated power consumption "
-              "(paper: 240 W/node, <20% added)"))
-
-    assert node.rows()["Node Total"] == 240.0
-    assert node.added_fraction < 0.20
-
+    assert result.metrics["node_rows"]["Node Total"] == 240.0
+    assert result.metrics["added_fraction"] < 0.20
     # The Section 8 claim: a 20 TB RAMCloud-style cluster vs the rack.
-    rack = PowerModel(n_nodes=20)
-    cloud = ramcloud_equivalent(rack.capacity_bytes)
-    comparison = format_table(
-        ["System", "Servers", "Power (W)"],
-        [["BlueDBM rack (20 TB flash)", rack.n_nodes, rack.cluster_w],
-         ["RAMCloud-style (20 TB DRAM)", int(cloud["servers"]),
-          cloud["power_w"]]],
-        title="Appliance vs DRAM cloud at equal capacity")
-    report("table3_power_comparison", comparison)
-    assert cloud["power_w"] > 10 * rack.cluster_w
+    assert result.metrics["cloud_w"] > 10 * result.metrics["rack_w"]

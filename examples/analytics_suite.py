@@ -4,34 +4,34 @@ The paper closes by naming the applications it planned next — "SQL
 Database Acceleration by offloading query processing and filtering to
 in-store processors, Sparse-Matrix Based Linear Algebra Acceleration
 and BlueDBM-Optimized MapReduce".  This example runs all three on the
-simulated appliance, each verified against a software oracle, and
-compares the in-store path against the host-software path.
+simulated appliance (every machine built from a declarative
+:class:`~repro.api.ScenarioSpec`), each verified against a software
+oracle, comparing the in-store path against the host-software path.
 
 Run:  python examples/analytics_suite.py
 """
 
 import numpy as np
 
+from repro.api import ScenarioSpec, Session
 from repro.apps.mapreduce import WordCountJob, make_sharded_corpus
 from repro.apps.spmv import SpMVApp, make_sparse_matrix
 from repro.apps.sql import FlashTable, TableScan, make_orders_table
-from repro.core import BlueDBMCluster, BlueDBMNode
-from repro.flash import FlashGeometry
 from repro.isp.filter import col
-from repro.sim import Simulator, units
+from repro.sim import units
 
-GEO = FlashGeometry(buses_per_card=8, chips_per_bus=8, blocks_per_chip=16,
-                    pages_per_block=32, page_size=8192, cards_per_node=2)
+NODE_SPEC = ScenarioSpec(name="analytics-node", isp_queue_depth=4)
+CLUSTER_SPEC = ScenarioSpec(name="analytics-cluster", n_nodes=3,
+                            n_endpoints=4, app_endpoints=1)
 
 
 def sql_demo():
     print("== SQL table scan: SELECT order_id WHERE amount > 9000 "
           "AND region = 'west' ==")
-    sim = Simulator()
-    node = BlueDBMNode(sim, geometry=GEO, isp_queue_depth=4)
+    session = Session(NODE_SPEC)
     schema, rows = make_orders_table(5000, seed=1)
-    table = FlashTable(node, "orders", schema)
-    sim.run_process(table.load(rows))
+    table = FlashTable(session.node, "orders", schema)
+    session.sim.run_process(table.load(rows))
     predicate = (col("amount") > 9000) & (col("region") == "west")
     scan = TableScan(table, n_engines=8)
 
@@ -39,7 +39,7 @@ def sql_demo():
         return (yield from scan.offloaded(predicate,
                                           project=["order_id"]))
 
-    result, stats = sim.run_process(offloaded(sim))
+    result, stats = session.sim.run_process(offloaded(session.sim))
     oracle = sorted(r["order_id"] for r in rows
                     if r["amount"] > 9000 and r["region"] == "west")
     assert [r["order_id"] for r in result] == oracle
@@ -47,17 +47,16 @@ def sql_demo():
           f"{stats['scan_gbs']:.2f} GB/s, "
           f"{stats['result_wire_bytes']} result bytes over PCIe")
 
-    sim2 = Simulator()
-    node2 = BlueDBMNode(sim2, geometry=GEO)
-    table2 = FlashTable(node2, "orders", schema)
-    sim2.run_process(table2.load(rows))
+    session2 = Session(ScenarioSpec(name="analytics-host-scan"))
+    table2 = FlashTable(session2.node, "orders", schema)
+    session2.sim.run_process(table2.load(rows))
     scan2 = TableScan(table2)
 
     def host(sim2):
         return (yield from scan2.host_scan(predicate,
                                            project=["order_id"]))
 
-    result2, stats2 = sim2.run_process(host(sim2))
+    result2, stats2 = session2.sim.run_process(host(session2.sim))
     assert [r["order_id"] for r in result2] == oracle
     print(f"  host scan : same rows, scan at "
           f"{stats2['scan_gbs']:.2f} GB/s, "
@@ -68,11 +67,11 @@ def mapreduce_demo():
     print("== BlueDBM-optimized MapReduce: word count over 3 nodes ==")
     for method, label in (("run_isp", "in-store map"),
                           ("run_host", "host map    ")):
-        sim = Simulator()
-        cluster = BlueDBMCluster(sim, 3, n_endpoints=4, app_endpoints=1,
-                                 node_kwargs=dict(geometry=GEO))
-        shards, oracle = make_sharded_corpus(3, 32, GEO.page_size, seed=9)
-        job = WordCountJob(cluster, engines_per_node=8)
+        session = Session(CLUSTER_SPEC)
+        sim = session.sim
+        shards, oracle = make_sharded_corpus(
+            3, 32, CLUSTER_SPEC.geometry.page_size, seed=9)
+        job = WordCountJob(session.cluster, engines_per_node=8)
         sim.run_process(job.load(shards))
 
         def run(sim, job=job, method=method):
@@ -92,15 +91,14 @@ def spmv_demo():
     x = np.random.default_rng(2).random(300)
     for method, label in (("run_isp", "in-store"),
                           ("run_host", "host    ")):
-        sim = Simulator()
-        node = BlueDBMNode(sim, geometry=GEO, isp_queue_depth=4)
-        app = SpMVApp(node, n_engines=8)
-        sim.run_process(app.load(matrix))
+        session = Session(NODE_SPEC)
+        app = SpMVApp(session.node, n_engines=8)
+        session.sim.run_process(app.load(matrix))
 
         def run(sim, app=app, method=method):
             return (yield from getattr(app, method)(x))
 
-        y, stats = sim.run_process(run(sim))
+        y, stats = session.sim.run_process(run(session.sim))
         np.testing.assert_allclose(y, matrix @ x, rtol=1e-12)
         print(f"  {label}: {stats['nnz_per_sec'] / 1e6:.1f} M nnz/s, "
               f"matrix streamed at {stats['stream_gbs']:.2f} GB/s")

@@ -1,21 +1,18 @@
 """Distributed graph traversal across a 3-node BlueDBM cluster.
 
-Shards a synthetic graph (one vertex per flash page) over the cluster,
-then walks the same deterministic chain of dependent lookups under each
-of Figure 20's access configurations, printing lookups/second.  The
-walk's vertex sequence is verified against a pure-software oracle.
+Shards a synthetic graph (one vertex per flash page) over a cluster
+built by the scenario API, then walks the same deterministic chain of
+dependent lookups under each of Figure 20's access configurations,
+printing lookups/second.  The walk's vertex sequence is verified
+against a pure-software oracle.
 
 Run:  python examples/graph_traversal.py
 """
 
+from repro.api import ScenarioSpec, Session
 from repro.apps import DistributedGraph, GraphTraversal
-from repro.core import BlueDBMCluster
-from repro.flash import FlashGeometry
-from repro.sim import Simulator
 
-GEOMETRY = FlashGeometry(buses_per_card=8, chips_per_bus=8,
-                         blocks_per_chip=16, pages_per_block=32,
-                         page_size=8192, cards_per_node=2)
+SPEC = ScenarioSpec(name="graph-traversal", n_nodes=3)
 
 CONFIGS = [
     ("isp-f", "in-store processor over the integrated network"),
@@ -31,17 +28,16 @@ def main():
     print("building 3-node cluster and sharding a 600-vertex graph...")
     results = {}
     for config, _ in CONFIGS:
-        sim = Simulator()
-        cluster = BlueDBMCluster(sim, 3,
-                                 node_kwargs=dict(geometry=GEOMETRY))
-        graph = DistributedGraph(cluster, 600, avg_degree=6, seed=11)
+        session = Session(SPEC)
+        graph = DistributedGraph(session.cluster, 600, avg_degree=6,
+                                 seed=11)
         traversal = GraphTraversal(graph, home_node=0, seed=11)
 
         def run(sim, config=config, traversal=traversal):
             rate, paths = yield from traversal.run(config, 1, 100)
             return rate, paths
 
-        rate, paths = sim.run_process(run(sim))
+        rate, paths = session.sim.run_process(run(session.sim))
         assert paths[0] == graph.reference_walk(1, 100), config
         results[config] = rate
 

@@ -1,56 +1,57 @@
 """Multi-tenant QoS: one storage device, three tenants, four policies.
 
 The paper's scheduler is "a simple FIFO-based policy" (Section 4); this
-example shows what the pluggable QoS framework (``repro.io``) buys when
-the node's three splitter tenants collide:
+example shows what the pluggable QoS framework buys when the node's
+three splitter tenants collide:
 
 * ``isp``  — local in-store processors (4 workers, tight deadline),
 * ``host`` — host software paying the syscall/RPC/PCIe path (4 workers),
 * ``net``  — the remote-request service, a 12x aggressor (48 workers).
 
-Admission to the card is bounded to 8 outstanding commands, so the
-scheduling policy decides who runs.  The per-tenant p99 table shows
-FIFO letting the aggressor's backlog dictate everyone's tail while
-fair-share/priority/EDF bound the victims.  The exact scenario is
-defined once in ``repro.analysis.qos`` and shared with
-``benchmarks/test_qos_multitenant.py``.
+The whole scenario — tenant mix, per-tenant priority/deadline/admission
+parameters, shared-RNG closed loop — is one declarative
+:class:`~repro.api.ScenarioSpec` built by
+:func:`repro.analysis.qos.qos_scenario` (shared with
+``benchmarks/test_qos_multitenant.py`` and ``repro run qos``), executed
+here by a :class:`~repro.api.Session` per policy.
 
 Run:  python examples/multitenant.py
 """
 
-from repro.analysis.qos import QOS_POLICIES, run_policy
-from repro.flash import FlashGeometry
+from repro.analysis.qos import QOS_POLICIES, qos_scenario
+from repro.api import BENCH_GEOMETRY, Session
 from repro.reporting import format_table
 from repro.sim import units
 
-GEOMETRY = FlashGeometry(buses_per_card=8, chips_per_bus=8,
-                         blocks_per_chip=16, pages_per_block=32,
-                         page_size=8192, cards_per_node=2)
 DURATION_NS = 10_000_000  # 10 ms of closed-loop traffic
 
 
 def main():
     rows = []
     for policy in QOS_POLICIES:
-        tracer = run_policy(policy, GEOMETRY, DURATION_NS, seed=7)
-        for tenant, stats in tracer.tenant_summary().items():
+        spec = qos_scenario(policy, BENCH_GEOMETRY, DURATION_NS, seed=7)
+        session = Session(spec)
+        run = session.run()
+        for tenant, stats in run.tenant_stats.items():
             rows.append([
                 policy, tenant,
                 f"{stats['completed']:.0f}",
+                f"{units.to_us(stats['mean_ns']):.0f}",
                 f"{units.to_us(stats['p50_ns']):.0f}",
                 f"{units.to_us(stats['p99_ns']):.0f}",
                 f"{stats['deadline_misses']:.0f}",
             ])
         # The tracer also knows *where* the time went, per stage:
         if policy == "fifo":
-            queue = tracer.stage_histograms["queue"]
-            storage = tracer.stage_histograms["storage"]
+            queue = session.tracer.stage_histograms["queue"]
+            storage = session.tracer.stage_histograms["storage"]
             print(f"under FIFO, p99 queue wait is "
                   f"{units.to_us(queue.percentile(99)):.0f} us vs "
                   f"{units.to_us(storage.percentile(99)):.0f} us of actual "
                   f"flash array time\n")
     print(format_table(
-        ["Policy", "Tenant", "Done", "p50(us)", "p99(us)", "Missed"],
+        ["Policy", "Tenant", "Done", "mean(us)", "p50(us)", "p99(us)",
+         "Missed"],
         rows,
         title="Per-tenant latency: 48 net workers vs 4+4 victims, "
               "8 admission slots"))

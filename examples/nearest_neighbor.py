@@ -1,14 +1,16 @@
 """LSH nearest-neighbour search: in-store engines vs host software.
 
-Loads a corpus of 8 KB items into flash, indexes it with real
-locality-sensitive hashing, runs a query through the in-store Hamming
-engines, and verifies against the brute-force oracle.  Then compares
-sustained comparison throughput of the accelerated path against a
-multithreaded DRAM-resident software baseline (the Figure 16 story).
+Loads a corpus of 8 KB items into flash on a node built by the scenario
+API, indexes it with real locality-sensitive hashing, runs a query
+through the in-store Hamming engines, and verifies against the
+brute-force oracle.  Then compares sustained comparison throughput of
+the accelerated path against a multithreaded DRAM-resident software
+baseline (the Figure 16 story).
 
 Run:  python examples/nearest_neighbor.py
 """
 
+from repro.api import BENCH_GEOMETRY, ScenarioSpec, Session
 from repro.apps import (
     LSHIndex,
     NearestNeighborISP,
@@ -16,27 +18,23 @@ from repro.apps import (
     brute_force_nearest,
     make_item_corpus,
 )
-from repro.core import BlueDBMNode
 from repro.devices import DRAMStore
-from repro.flash import FlashGeometry
 from repro.host import HostConfig, HostCPU
 from repro.sim import Simulator
 
-GEOMETRY = FlashGeometry(buses_per_card=8, chips_per_bus=8,
-                         blocks_per_chip=16, pages_per_block=32,
-                         page_size=8192, cards_per_node=2)
+SPEC = ScenarioSpec(name="nearest-neighbor")
 N_ITEMS = 256
 
 
 def main():
-    sim = Simulator()
-    node = BlueDBMNode(sim, geometry=GEOMETRY)
+    session = Session(SPEC)
+    node = session.node
     app = NearestNeighborISP(node, n_engines=8)
 
-    corpus = make_item_corpus(N_ITEMS, GEOMETRY.page_size, seed=7,
+    corpus = make_item_corpus(N_ITEMS, BENCH_GEOMETRY.page_size, seed=7,
                               n_clusters=4)
-    index = LSHIndex(GEOMETRY.page_size, n_tables=6, bits_per_hash=10,
-                     seed=3)
+    index = LSHIndex(BENCH_GEOMETRY.page_size, n_tables=6,
+                     bits_per_hash=10, seed=3)
     app.load(corpus, index)
     query = corpus[17]
     candidates = index.candidates(query)
@@ -47,30 +45,30 @@ def main():
         result = yield from app.query(query)
         return result
 
-    best_id, distance = sim.run_process(accelerated(sim))
+    best_id, distance = session.sim.run_process(
+        accelerated(session.sim))
     oracle = brute_force_nearest(
         query, {i: corpus[i] for i in candidates})
     print(f"ISP answer    : item {best_id} at Hamming distance {distance}")
     print(f"oracle agrees : {distance == oracle[1]}")
 
-    # Throughput comparison (fresh simulators so clocks start at zero).
-    sim2 = Simulator()
-    node2 = BlueDBMNode(sim2, geometry=GEOMETRY)
-    app2 = NearestNeighborISP(node2, n_engines=8)
-    app2.load(corpus, LSHIndex(GEOMETRY.page_size, seed=3))
+    # Throughput comparison (fresh sessions so clocks start at zero).
+    session2 = Session(SPEC)
+    app2 = NearestNeighborISP(session2.node, n_engines=8)
+    app2.load(corpus, LSHIndex(BENCH_GEOMETRY.page_size, seed=3))
 
     def isp_run(sim2):
         rate = yield from app2.throughput_run(query, 2048)
         return rate
 
-    isp_rate = sim2.run_process(isp_run(sim2))
+    isp_rate = session2.sim.run_process(isp_run(session2.sim))
     print(f"\nISP throughput      : {isp_rate:,.0f} comparisons/s "
           f"(paper: 320K at 2.4 GB/s)")
 
     for threads in (2, 4, 8):
         sim3 = Simulator()
         cpu = HostCPU(sim3, HostConfig())
-        dram = DRAMStore(sim3, page_size=GEOMETRY.page_size,
+        dram = DRAMStore(sim3, page_size=BENCH_GEOMETRY.page_size,
                          bandwidth_gbs=5.0)
         for i, data in corpus.items():
             dram.store(i, data)

@@ -1,29 +1,27 @@
-"""Quickstart: one BlueDBM node, end to end.
+"""Quickstart: one BlueDBM node, end to end, via the scenario API.
 
-Builds a node (two flash cards + host + in-store processor services),
-writes a file through the RFS log-structured file system, queries the
-file's *physical* flash locations, registers them with the Flash
-Server's address translation unit, and streams the file through the
-in-store processor port — the Section 4 dataflow of the paper.
+A :class:`~repro.api.ScenarioSpec` describes the machine (here: the
+shared scaled-down benchmark geometry); a :class:`~repro.api.Session`
+builds the simulator and the node from it.  The workload then follows
+the Section 4 dataflow of the paper: write a file through the RFS
+log-structured file system, query the file's *physical* flash
+locations, register them with the Flash Server's address translation
+unit, and stream the file through the in-store processor port.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.core import BlueDBMNode
-from repro.flash import FlashGeometry
-from repro.sim import Simulator, Store, units
+from repro.api import ScenarioSpec, Session
+from repro.sim import Store, units
 
-# A scaled-down node: the paper's 8x8 chip structure per card with fewer
-# blocks, so the example runs in a second.
-GEOMETRY = FlashGeometry(buses_per_card=8, chips_per_bus=8,
-                         blocks_per_chip=16, pages_per_block=32,
-                         page_size=8192, cards_per_node=2)
+SPEC = ScenarioSpec(name="quickstart")  # one node, shared bench geometry
 
 
 def main():
-    sim = Simulator()
-    node = BlueDBMNode(sim, geometry=GEOMETRY)
-    print(f"node capacity : {GEOMETRY.node_bytes / 1e9:.1f} GB "
+    session = Session(SPEC)
+    sim, node = session.sim, session.node
+    geometry = SPEC.geometry
+    print(f"node capacity : {geometry.node_bytes / 1e9:.1f} GB "
           f"(scaled from the paper's 1 TB)")
     print(f"flash ceiling : {node.peak_flash_bandwidth():.1f} GB/s")
 
@@ -63,6 +61,13 @@ def main():
 
     sim.run_process(workload(sim))
     print(f"simulated time: {units.to_ms(sim.now):.2f} ms")
+
+    # The session traced every request; ask it where the time went.
+    stages = session.tracer.stage_summary()
+    if "storage" in stages:
+        print(f"traced storage stage: {stages['storage']['count']:.0f} "
+              f"accesses, mean "
+              f"{units.to_us(stages['storage']['mean_ns']):.1f} us")
 
 
 if __name__ == "__main__":

@@ -1,23 +1,22 @@
 """String search: in-store Morris-Pratt engines vs software grep.
 
 Plants a needle in an 8 MB synthetic haystack, stores it through the
-file system, and searches it three ways (Figure 21): 32 in-store MP
-engines at flash speed, grep-style software over a commodity SSD, and
-over a hard disk.  All three must return exactly the oracle's matches.
+file system of a one-card node built by the scenario API, and searches
+it three ways (Figure 21): 32 in-store MP engines at flash speed,
+grep-style software over a commodity SSD, and over a hard disk.  All
+three must return exactly the oracle's matches.
 
 Run:  python examples/string_search.py
 """
 
+from repro.api import ONE_CARD_GEOMETRY, ScenarioSpec, Session
 from repro.apps import SoftwareGrep, StringSearchISP, make_text_corpus
-from repro.core import BlueDBMNode
 from repro.devices import CommoditySSD, HardDisk
-from repro.flash import FlashGeometry
 from repro.host import HostConfig, HostCPU
 from repro.sim import Simulator
 
-ONE_CARD = FlashGeometry(buses_per_card=8, chips_per_bus=8,
-                         blocks_per_chip=16, pages_per_block=32,
-                         page_size=8192, cards_per_node=1)
+SPEC = ScenarioSpec(name="string-search", geometry=ONE_CARD_GEOMETRY,
+                    isp_queue_depth=4)
 NEEDLE = b"in-store processing"
 
 
@@ -27,15 +26,14 @@ def main():
           f"{len(expected)} occurrences of {NEEDLE!r}\n")
 
     # --- accelerated: 4 MP engines per bus, one flash board ------------
-    sim = Simulator()
-    node = BlueDBMNode(sim, geometry=ONE_CARD, isp_queue_depth=4)
-    app = StringSearchISP(node, engines_per_bus=4)
+    session = Session(SPEC)
+    app = StringSearchISP(session.node, engines_per_bus=4)
 
     def isp(sim):
         yield from app.setup(corpus)
         return (yield from app.run(NEEDLE))
 
-    matches, gbs, cpu = sim.run_process(isp(sim))
+    matches, gbs, cpu = session.sim.run_process(isp(session.sim))
     assert matches == expected
     print(f"Flash/ISP     : {gbs * 1000:7.0f} MB/s  host CPU {cpu:5.1%}  "
           f"({app.n_engines} MP engines)")

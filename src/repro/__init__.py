@@ -4,6 +4,14 @@ network (Jun et al., ISCA 2015).
 
 Subpackages
 -----------
+``repro.api``
+    Declarative front door: validated/JSON-round-trippable
+    ``ScenarioSpec``/``WorkloadSpec``, the ``Session`` facade that
+    builds and drives the machine, structured ``RunResult``s, and the
+    ``@experiment`` registry behind ``repro list`` / ``repro run``.
+``repro.experiments``
+    Registered implementations of every reproduced table/figure (the
+    benchmarks call the same code and keep only shape assertions).
 ``repro.sim``
     Discrete-event simulation kernel (events, processes, FIFOs, stats).
 ``repro.io``

@@ -1,4 +1,4 @@
-"""Command-line entry point: ``python -m repro <command>``.
+"""Command-line entry point: ``python -m repro <command>`` / ``repro``.
 
 Commands
 --------
@@ -7,9 +7,12 @@ Commands
 ``demo``
     Run a one-minute tour: node assembly, a file through the FS, an
     in-store stream, and a remote read over the integrated network.
-``experiments``
-    List every reproduced table/figure and the benchmark that
-    regenerates it.
+``list`` (alias: ``experiments``)
+    Print the experiment registry: every reproduced table/figure, its
+    id, and the benchmark that asserts it.
+``run <id> [--json PATH]``
+    Run one registered experiment, print its tables, and optionally
+    save the machine-readable :class:`~repro.api.RunResult` as JSON.
 """
 
 from __future__ import annotations
@@ -23,43 +26,8 @@ from .host import HostConfig
 from .network import NetworkConfig
 from .reporting import NodePower, PowerModel
 
-EXPERIMENTS = [
-    ("Table 1", "Artix-7 flash controller resources",
-     "benchmarks/test_table1_flash_resources.py"),
-    ("Table 2", "Virtex-7 host resources",
-     "benchmarks/test_table2_host_resources.py"),
-    ("Table 3", "node power (240 W, <20% added)",
-     "benchmarks/test_table3_power.py"),
-    ("Figure 11", "network bandwidth/latency vs hops",
-     "benchmarks/test_fig11_network.py"),
-    ("Figure 12", "remote access latency breakdown",
-     "benchmarks/test_fig12_latency.py"),
-    ("Figure 13", "storage bandwidth (4 scenarios)",
-     "benchmarks/test_fig13_bandwidth.py"),
-    ("Figure 16", "nearest neighbour vs host DRAM",
-     "benchmarks/test_fig16_nn_scaling.py"),
-    ("Figure 17", "the RAMCloud cliff",
-     "benchmarks/test_fig17_nn_dram_cliff.py"),
-    ("Figure 18", "commodity SSD random vs sequential",
-     "benchmarks/test_fig18_nn_ssd.py"),
-    ("Figure 19", "in-store processing advantage",
-     "benchmarks/test_fig19_nn_isp.py"),
-    ("Figure 20", "distributed graph traversal",
-     "benchmarks/test_fig20_graph.py"),
-    ("Figure 21", "string search vs grep",
-     "benchmarks/test_fig21_strsearch.py"),
-    ("Ablations", "tags / routing / FTL / striping",
-     "benchmarks/test_ablation_*.py"),
-    ("Extension", "aggregate bandwidth vs node count",
-     "benchmarks/test_ext_scaling.py"),
-    ("Extension", "SQL offload vs selectivity",
-     "benchmarks/test_ext_sql_offload.py"),
-    ("QoS", "multi-tenant scheduler policies",
-     "benchmarks/test_qos_multitenant.py"),
-]
 
-
-def cmd_info() -> int:
+def cmd_info(args=None) -> int:
     geometry = DEFAULT_GEOMETRY
     timing = FlashTiming()
     host = HostConfig()
@@ -92,17 +60,15 @@ def cmd_info() -> int:
     return 0
 
 
-def cmd_demo() -> int:
-    from .core import BlueDBMCluster
-    from .flash import FlashGeometry, PhysAddr
-    from .sim import Simulator, Store, units
+def cmd_demo(args=None) -> int:
+    from .api import BENCH_GEOMETRY, ScenarioSpec, Session
+    from .flash import PhysAddr
+    from .sim import Store, units
 
-    geometry = FlashGeometry(buses_per_card=8, chips_per_bus=8,
-                             blocks_per_chip=16, pages_per_block=32,
-                             page_size=8192, cards_per_node=2)
-    sim = Simulator()
-    cluster = BlueDBMCluster(sim, 3, node_kwargs=dict(geometry=geometry))
-    node = cluster.nodes[0]
+    session = Session(ScenarioSpec(name="demo", n_nodes=3,
+                                   geometry=BENCH_GEOMETRY))
+    sim, cluster = session.sim, session.cluster
+    node = session.node
     print("built a 3-node cluster (ring, 4 lanes/side)")
 
     def tour(sim):
@@ -130,22 +96,55 @@ def cmd_demo() -> int:
     return 0
 
 
-def cmd_experiments() -> int:
-    width = max(len(r[0]) for r in EXPERIMENTS)
-    for exp_id, title, path in EXPERIMENTS:
-        print(f"{exp_id:{width}s}  {title:40s} {path}")
-    print("\nrun them all: pytest benchmarks/ --benchmark-only -s")
+def cmd_list(args=None) -> int:
+    from .api import all_experiments
+
+    experiments = all_experiments()
+    id_width = max(len(e.exp_id) for e in experiments)
+    label_width = max(len(e.label) for e in experiments)
+    for exp in experiments:
+        print(f"{exp.exp_id:{id_width}s}  {exp.label:{label_width}s}  "
+              f"{exp.title:40s} {exp.produces}")
+    print(f"\nrun one: repro run <id> [--json PATH]; "
+          f"run them all: pytest benchmarks/ --benchmark-only -s")
+    return 0
+
+
+def cmd_run(args) -> int:
+    from .api import get_experiment, run_experiment
+
+    try:
+        exp = get_experiment(args.experiment)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    # Outside the try: a KeyError raised by the experiment itself is a
+    # bug that must surface as a traceback, not an unknown-id message.
+    result = run_experiment(exp.exp_id)
+    print(result.render())
+    if args.json:
+        result.save(args.json)
+        print(f"\nsaved machine-readable result to {args.json}")
     return 0
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="BlueDBM reproduction toolkit")
-    parser.add_argument("command", nargs="?", default="info",
-                        choices=["info", "demo", "experiments"])
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("info", help="appliance configuration and limits")
+    sub.add_parser("demo", help="one-minute tour of the appliance")
+    sub.add_parser("list", help="list every registered experiment")
+    # Backwards-compatible alias for ``list``.
+    sub.add_parser("experiments", help=argparse.SUPPRESS)
+    run_parser = sub.add_parser("run", help="run a registered experiment")
+    run_parser.add_argument("experiment", help="experiment id (see list)")
+    run_parser.add_argument("--json", metavar="PATH", default=None,
+                            help="save the RunResult as JSON to PATH")
     args = parser.parse_args(argv)
-    return {"info": cmd_info, "demo": cmd_demo,
-            "experiments": cmd_experiments}[args.command]()
+    handlers = {"info": cmd_info, "demo": cmd_demo, "list": cmd_list,
+                "experiments": cmd_list, "run": cmd_run, None: cmd_info}
+    return handlers[args.command](args)
 
 
 if __name__ == "__main__":

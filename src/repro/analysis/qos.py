@@ -1,28 +1,34 @@
-"""The multi-tenant QoS contention scenario, shared by benchmark and example.
+"""The multi-tenant QoS contention scenario, shared by benchmark,
+example and the ``qos`` registry experiment.
 
 One node, three tenants on its splitter — local in-store processors
 (``isp``), host software paying the full syscall/RPC/PCIe path
 (``host``), and the remote-request network service (``net``) as a 12x
 aggressor — with card admission bounded so the scheduling policy, not
-the physical tag pool, decides who runs.  ``run_policy`` executes the
-closed-loop workload under one policy and returns the populated
-:class:`~repro.io.tracer.RequestTracer`.
+the physical tag pool, decides who runs.
+
+The scenario is pure data now: :func:`qos_scenario` builds the
+:class:`~repro.api.ScenarioSpec` (tenant mix, per-tenant QoS
+parameters, shared-RNG closed loop, full drain) and
+:func:`run_policy` executes it through a :class:`~repro.api.Session`,
+returning the populated :class:`~repro.io.tracer.RequestTracer` as
+before.
 """
 
 from __future__ import annotations
 
-import random
-
-from ..core.node import BlueDBMNode
+from ..api import ScenarioSpec, Session, TenantSpec, WorkloadSpec
 from ..flash import FlashGeometry
 from ..io import RequestTracer
-from ..sim import Simulator, units
+from ..sim import units
 
-__all__ = ["QOS_POLICIES", "QOS_TENANTS", "ADMISSION_SLOTS", "run_policy"]
+__all__ = ["QOS_POLICIES", "QOS_TENANTS", "ADMISSION_SLOTS",
+           "qos_scenario", "run_policy"]
 
 QOS_POLICIES = ["fifo", "rr", "priority", "edf"]
 
 #: tenant -> (closed-loop workers, splitter-port QoS kwargs).
+#: Kept in the historical shape for the benchmark's iteration order.
 QOS_TENANTS = {
     "isp": (4, dict(max_in_flight=8, priority=2,
                     deadline_ns=500 * units.US)),
@@ -41,29 +47,26 @@ ADMISSION_SLOTS = 8
 ADDR_SPACE = 4096
 
 
+def qos_scenario(policy: str, geometry: FlashGeometry, duration_ns: int,
+                 seed: int = 1234) -> ScenarioSpec:
+    """The three-tenant contention scenario under ``policy``, as data."""
+    tenants = tuple(
+        TenantSpec(name=name, access=name,
+                   workers=workers, rng="shared",
+                   addr_space=ADDR_SPACE, **qos_kwargs)
+        for name, (workers, qos_kwargs) in QOS_TENANTS.items())
+    return ScenarioSpec(
+        name=f"qos-{policy}",
+        geometry=geometry,
+        splitter_policy=policy,
+        splitter_in_flight=ADMISSION_SLOTS,
+        workload=WorkloadSpec(duration_ns=duration_ns, tenants=tenants,
+                              seed=seed, drain=True))
+
+
 def run_policy(policy: str, geometry: FlashGeometry, duration_ns: int,
                seed: int = 1234) -> RequestTracer:
     """Run the three-tenant contention workload under ``policy``."""
-    addr_space = min(ADDR_SPACE, geometry.pages_per_node)
-    sim = Simulator()
-    tracer = RequestTracer(sim)
-    node = BlueDBMNode(sim, geometry=geometry,
-                       splitter_policy=policy,
-                       splitter_in_flight=ADMISSION_SLOTS,
-                       tracer=tracer,
-                       port_qos={tenant: kwargs for tenant, (_, kwargs)
-                                 in QOS_TENANTS.items()})
-    rng = random.Random(seed)
-    reads = {"isp": node.isp_read, "host": node.host_read,
-             "net": node.net_read}
-
-    def worker(sim, read):
-        while sim.now < duration_ns:
-            addr = geometry.striped(rng.randrange(addr_space))
-            yield sim.process(read(addr))
-
-    for tenant, (workers, _) in QOS_TENANTS.items():
-        for _ in range(workers):
-            sim.process(worker(sim, reads[tenant]), name=f"{tenant}-worker")
-    sim.run()
-    return tracer
+    session = Session(qos_scenario(policy, geometry, duration_ns, seed))
+    session.run()
+    return session.tracer

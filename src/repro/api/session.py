@@ -1,0 +1,260 @@
+"""The run session facade: spec in, simulator out, results back.
+
+A :class:`Session` owns everything one scenario needs — the
+discrete-event :class:`~repro.sim.Simulator`, an attached
+:class:`~repro.io.RequestTracer`, and the machine built from the
+:class:`~repro.api.spec.ScenarioSpec` (a bare
+:class:`~repro.core.BlueDBMNode` for single-node scenarios, a
+:class:`~repro.core.BlueDBMCluster` otherwise).  It also owns the
+closed-loop workload driver that used to be copy-pasted across the
+Figure 13 benchmark, the nearest-neighbour builders and the QoS
+scenario: :meth:`run` executes the spec's
+:class:`~repro.api.spec.WorkloadSpec` and returns a structured
+:class:`~repro.api.result.RunResult`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional
+
+from ..core import BlueDBMCluster, BlueDBMNode
+from ..io import RequestTracer
+from ..sim import Simulator
+from .result import RunResult
+from .spec import ScenarioSpec, SpecError, TenantSpec
+
+__all__ = ["Session", "drive_pipelined"]
+
+
+class Session:
+    """Builds and drives one scenario end to end.
+
+    Attributes
+    ----------
+    sim : the session's simulator (fresh, time starts at zero).
+    tracer : the unified request tracer (None when ``spec.trace`` off).
+    nodes : every :class:`BlueDBMNode`, indexed by node id.
+    cluster : the :class:`BlueDBMCluster`, or None for 1-node scenarios.
+    node : shorthand for ``nodes[0]``.
+    """
+
+    def __init__(self, spec: ScenarioSpec):
+        self.spec = spec
+        self.sim = Simulator()
+        self.tracer: Optional[RequestTracer] = (
+            RequestTracer(self.sim) if spec.trace else None)
+        node_kwargs = dict(
+            geometry=spec.geometry,
+            flash_timing=spec.timing,
+            host_config=spec.host,
+            isp_queue_depth=spec.isp_queue_depth,
+            accelerator_units=spec.accelerator_units,
+            splitter_policy=spec.splitter_policy,
+            splitter_in_flight=spec.splitter_in_flight,
+            tracer=self.tracer,
+            port_qos=spec.port_qos(),
+        )
+        if spec.n_nodes == 1:
+            self.cluster: Optional[BlueDBMCluster] = None
+            self.nodes: List[BlueDBMNode] = [
+                BlueDBMNode(self.sim, **node_kwargs)]
+        else:
+            self.cluster = BlueDBMCluster(
+                self.sim, spec.n_nodes,
+                topology=spec.topology.build(spec.n_nodes),
+                network_config=spec.network,
+                n_endpoints=spec.n_endpoints,
+                app_endpoints=spec.app_endpoints,
+                node_kwargs=node_kwargs,
+                tracer=self.tracer)
+            self.nodes = self.cluster.nodes
+
+    @property
+    def node(self) -> BlueDBMNode:
+        return self.nodes[0]
+
+    # ------------------------------------------------------------------
+    # workload execution
+    # ------------------------------------------------------------------
+    def run(self) -> RunResult:
+        """Execute the spec's workload; return the structured result.
+
+        Spawns every tenant's closed-loop workers (in spec order — the
+        order is part of deterministic reproducibility), runs the
+        simulation to the workload window (or to full drain), and
+        returns completions, per-tenant bandwidth, and the tracer's
+        per-tenant / per-stage statistics.
+        """
+        workload = self.spec.workload
+        if workload is None:
+            raise SpecError(
+                f"scenario {self.spec.name!r} has no workload to run")
+        counters = {t.name: 0 for t in workload.tenants}
+        shared_rng = random.Random(workload.seed)
+        for tenant in workload.tenants:
+            issue = self._issuer(tenant)
+            for wid in range(tenant.workers):
+                rng = (shared_rng if tenant.rng == "shared"
+                       else random.Random(tenant.seed_base + wid))
+                self.sim.process(
+                    self._worker(tenant, rng, issue,
+                                 workload.duration_ns, counters),
+                    name=f"{tenant.name}-worker")
+        if workload.drain:
+            self.sim.run()
+        else:
+            self.sim.run(until=workload.duration_ns)
+        return self._workload_result(counters)
+
+    def _worker(self, tenant: TenantSpec, rng: random.Random,
+                issue: Callable, deadline: int, counters: dict):
+        """One closed-loop reader: issue random page reads until the
+        window closes; count completions."""
+        sim = self.sim
+        geometry = self.spec.geometry
+        addr_space = (geometry.pages_per_node if tenant.addr_space is None
+                      else min(tenant.addr_space, geometry.pages_per_node))
+        while sim.now < deadline:
+            yield from issue(rng.randrange(addr_space))
+            counters[tenant.name] += 1
+
+    def _issuer(self, tenant: TenantSpec) -> Callable:
+        """The access-path generator for one tenant's reads."""
+        sim = self.sim
+        geometry = self.spec.geometry
+        node = self.nodes[tenant.node]
+        if tenant.access == "remote_isp":
+            cluster, src, target = self.cluster, tenant.node, tenant.target
+
+            def issue(index):
+                addr = geometry.striped(index, node=target)
+                yield from cluster.isp_remote_flash(src, addr)
+        elif tenant.access == "host":
+            software_path = tenant.software_path
+
+            def issue(index):
+                addr = geometry.striped(index, node=tenant.node)
+                yield sim.process(
+                    node.host_read(addr, software_path=software_path))
+        else:
+            read = node.isp_read if tenant.access == "isp" \
+                else node.net_read
+
+            def issue(index):
+                addr = geometry.striped(index, node=tenant.node)
+                yield sim.process(read(addr))
+        return issue
+
+    def _workload_result(self, counters: dict) -> RunResult:
+        workload = self.spec.workload
+        window = self.sim.now if workload.drain else workload.duration_ns
+        page = self.spec.geometry.page_size
+        bandwidth = {name: count * page / window if window else 0.0
+                     for name, count in counters.items()}
+        total = sum(counters.values())
+        result = self.result()
+        result.tenant_stats = self._relabel_tenant_stats(
+            result.tenant_stats)
+        result.elapsed_ns = self.sim.now
+        result.metrics.update({
+            "completions": dict(counters),
+            "bandwidth_gbs": bandwidth,
+            "total_bandwidth_gbs": (total * page / window if window
+                                    else 0.0),
+            "window_ns": window,
+        })
+        return result
+
+    def _relabel_tenant_stats(self, stats: dict) -> dict:
+        """Key tracer tenant stats by spec tenant names where possible.
+
+        The tracer labels requests by the splitter port they used
+        (``isp``/``host``/``net``) or the cluster path (``isp-n<src>``
+        for remote ISP reads); the workload's tenants are named by the
+        spec.  When exactly one spec tenant maps to a label, report its
+        stats under the spec name — what callers index by.  Labels
+        shared by several tenants (e.g. two remote tenants issuing from
+        one node) keep the port label, since their latencies are
+        physically merged at that port.
+        """
+        label_of = {"isp": "isp", "host": "host", "net": "net"}
+        owners: dict = {}
+        for tenant in self.spec.workload.tenants:
+            label = (f"isp-n{tenant.node}"
+                     if tenant.access == "remote_isp"
+                     else label_of[tenant.access])
+            owners.setdefault(label, []).append(tenant.name)
+        relabeled = {
+            (owners[label][0]
+             if len(owners.get(label, ())) == 1 else label): summary
+            for label, summary in stats.items()
+        }
+        # A pathological mix (a tenant named after a port it doesn't
+        # use) could collide keys; keep the unambiguous raw labels then.
+        return relabeled if len(relabeled) == len(stats) else stats
+
+    # ------------------------------------------------------------------
+    # custom driving (for experiments that are not pure tenant mixes)
+    # ------------------------------------------------------------------
+    def closed_loop(self, fetch_factory: Callable, n_workers: int,
+                    window_ns: int, counter: Optional[list] = None,
+                    seed_base: int = 0) -> None:
+        """Spawn workers that loop ``fetch_factory(rng)`` fetches until
+        the window closes (the Figure 13 driver, now shared).
+
+        ``fetch_factory`` is called with worker *i*'s private
+        ``Random(seed_base + i)`` and must return a generator that
+        performs one fetch.  ``counter`` (a one-element list) counts
+        completed fetches across all workers.
+        """
+        sim = self.sim
+
+        def worker(wid):
+            rng = random.Random(seed_base + wid)
+            while sim.now < window_ns:
+                yield from fetch_factory(rng)
+                if counter is not None:
+                    counter[0] += 1
+
+        for wid in range(n_workers):
+            sim.process(worker(wid))
+
+    def run_until(self, deadline_ns: Optional[int] = None) -> None:
+        """Advance the simulation (to ``deadline_ns``, or to drain)."""
+        self.sim.run(until=deadline_ns)
+
+    def result(self, experiment: Optional[str] = None) -> RunResult:
+        """Snapshot the session's tracer into a fresh RunResult."""
+        result = RunResult(experiment=experiment or self.spec.name,
+                           elapsed_ns=self.sim.now,
+                           spec=self.spec.to_dict())
+        if self.tracer is not None:
+            workload = self.spec.workload
+            window = (self.sim.now if workload is None or workload.drain
+                      else workload.duration_ns)
+            result.tenant_stats = self.tracer.tenant_summary(window)
+            result.stage_stats = self.tracer.stage_summary()
+        return result
+
+
+def drive_pipelined(sim: Simulator, op_factory: Callable, n_ops: int,
+                    outstanding: int) -> None:
+    """Issue ``n_ops`` operations keeping ``outstanding`` in flight.
+
+    The kernel-bypass-style async driver shared by the pipelined-host
+    nearest-neighbour experiment and the tag-depth ablation:
+    ``op_factory(i)`` returns the generator for operation *i*; the
+    driver admits a new one whenever the window has room and drains the
+    tail.  Runs the simulation to completion.
+    """
+    def driver(sim):
+        pending = []
+        for i in range(n_ops):
+            pending.append(sim.process(op_factory(i)))
+            if len(pending) >= outstanding:
+                yield pending.pop(0)
+        for proc in pending:
+            yield proc
+
+    sim.run_process(driver(sim))

@@ -1,0 +1,484 @@
+"""Declarative scenario specs: the front door to the whole simulator.
+
+Every table, figure and extension in this repo is some combination of a
+*machine* (geometry, timings, host, network, topology, node count) and a
+*workload* (who issues which reads, how hard, under which QoS policy).
+Before this module existed, each benchmark and example hand-assembled
+``Simulator`` + ``BlueDBMCluster`` + ad-hoc closed-loop drivers; now the
+combination is data: a frozen :class:`ScenarioSpec` that validates at
+construction (not mid-simulation), round-trips through plain dicts /
+JSON, and is executed by :class:`~repro.api.session.Session`.
+
+The specs compose the existing frozen config dataclasses —
+:class:`~repro.flash.FlashGeometry`, :class:`~repro.flash.FlashTiming`,
+:class:`~repro.host.HostConfig`, :class:`~repro.network.NetworkConfig` —
+and add the pieces that used to live in benchmark files: topology
+choice, tenant mixes, per-tenant QoS parameters and RNG discipline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from ..flash import FlashGeometry, FlashTiming
+from ..host import HostConfig
+from ..io import POLICIES
+from ..network import (
+    NetworkConfig,
+    Topology,
+    fat_tree,
+    fully_connected,
+    line,
+    mesh2d,
+    ring,
+    star,
+)
+
+__all__ = [
+    "BENCH_GEOMETRY",
+    "ONE_CARD_GEOMETRY",
+    "THROTTLED_TIMING",
+    "TopologySpec",
+    "TenantSpec",
+    "WorkloadSpec",
+    "ScenarioSpec",
+    "SpecError",
+]
+
+#: The shared scaled-down-but-faithful experiment geometry: the paper's
+#: bus/chip structure (8x8 per card, two cards, 8 KB pages) with fewer
+#: blocks so setup stays fast.  Bandwidth and latency are rate-based, so
+#: results match the full-size :data:`~repro.flash.DEFAULT_GEOMETRY`.
+#: Every benchmark, example and the CLI demo build on this one spec.
+BENCH_GEOMETRY = FlashGeometry(buses_per_card=8, chips_per_bus=8,
+                               blocks_per_chip=16, pages_per_block=32,
+                               page_size=8192, cards_per_node=2)
+
+#: Single flash board (Figure 21's setup): 8 buses -> 1.2 GB/s ceiling.
+ONE_CARD_GEOMETRY = dataclasses.replace(BENCH_GEOMETRY, cards_per_node=1)
+
+#: Throttles the node to the commodity SSD's 600 MB/s by capping each
+#: card's aurora link at 0.3 GB/s (Section 7.1's "Throttled BlueDBM").
+THROTTLED_TIMING = FlashTiming(aurora_bytes_per_ns=0.3)
+
+
+class SpecError(ValueError):
+    """A scenario/workload spec is invalid (raised at construction)."""
+
+
+# ----------------------------------------------------------------------
+# serialization helpers
+# ----------------------------------------------------------------------
+def _opt_dict(value) -> Optional[dict]:
+    return None if value is None else dataclasses.asdict(value)
+
+
+def _opt_load(cls, value):
+    if value is None:
+        return None
+    if isinstance(value, cls):
+        return value
+    return cls(**value)
+
+
+# ----------------------------------------------------------------------
+# topology
+# ----------------------------------------------------------------------
+#: kind -> the topology builder's extra argument names.
+_TOPOLOGY_KINDS = ("auto", "ring", "line", "star", "mesh2d",
+                   "fully_connected", "fat_tree", "custom")
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """How the storage network wires the nodes together.
+
+    ``auto`` keeps the cluster's historical default (a 4-lane ring for
+    three or more nodes, a line otherwise).  ``custom`` wires exactly
+    the cable list in ``links`` — this is how Figure 13 gives each
+    remote node its own parallel serial lanes.
+    """
+
+    kind: str = "auto"
+    lanes: int = 1
+    links: Tuple[Tuple[int, int], ...] = ()
+    rows: int = 0
+    cols: int = 0
+    n_spine: int = 0
+    n_leaf: int = 0
+
+    def __post_init__(self):
+        if self.kind not in _TOPOLOGY_KINDS:
+            raise SpecError(f"unknown topology kind {self.kind!r}; "
+                            f"expected one of {_TOPOLOGY_KINDS}")
+        if self.lanes < 1:
+            raise SpecError(f"lanes must be >= 1, got {self.lanes}")
+        if self.kind == "custom" and not self.links:
+            raise SpecError("custom topology needs at least one link")
+        if self.kind == "mesh2d" and (self.rows < 1 or self.cols < 1):
+            raise SpecError("mesh2d topology needs rows and cols >= 1")
+        if self.kind == "fat_tree" and (self.n_spine < 1
+                                        or self.n_leaf < 1):
+            raise SpecError("fat_tree topology needs n_spine/n_leaf >= 1")
+        # Parameters that the chosen kind would silently ignore are
+        # spec errors: a 4-lane star does not exist, so saying one must
+        # not construct a 1-lane star that *looks* 4-lane.
+        ignored = []
+        if self.lanes != 1 and self.kind not in ("ring", "line"):
+            ignored.append("lanes")
+        if self.links and self.kind != "custom":
+            ignored.append("links")
+        if (self.rows or self.cols) and self.kind != "mesh2d":
+            ignored.append("rows/cols")
+        if (self.n_spine or self.n_leaf) and self.kind != "fat_tree":
+            ignored.append("n_spine/n_leaf")
+        if ignored:
+            raise SpecError(
+                f"topology kind {self.kind!r} does not use "
+                f"{', '.join(ignored)}")
+        # Normalize links (JSON round-trips lists; specs store tuples).
+        object.__setattr__(self, "links",
+                           tuple((int(a), int(b)) for a, b in self.links))
+
+    def build(self, n_nodes: int) -> Optional[Topology]:
+        """Materialize the :class:`~repro.network.Topology` (None=auto)."""
+        if self.kind == "auto":
+            return None
+        if self.kind == "ring":
+            topo = ring(n_nodes, lanes=self.lanes)
+        elif self.kind == "line":
+            topo = line(n_nodes, lanes=self.lanes)
+        elif self.kind == "star":
+            topo = star(n_nodes)
+        elif self.kind == "fully_connected":
+            topo = fully_connected(n_nodes)
+        elif self.kind == "mesh2d":
+            # mesh2d takes (width, height): a row holds ``cols`` nodes.
+            topo = mesh2d(self.cols, self.rows)
+        elif self.kind == "fat_tree":
+            topo = fat_tree(n_spine=self.n_spine, n_leaf=self.n_leaf)
+        else:
+            topo = Topology(n_nodes)
+            for a, b in self.links:
+                if not (0 <= a < n_nodes and 0 <= b < n_nodes):
+                    raise SpecError(
+                        f"link ({a}, {b}) outside 0..{n_nodes - 1}")
+                topo.connect(a, b)
+        # Sized builders (mesh2d, fat_tree) carry their own node count;
+        # it must cover the scenario's, or remote accesses would die
+        # mid-simulation on a node with no network attachment.
+        if topo.n_nodes != n_nodes:
+            raise SpecError(
+                f"{self.kind} topology spans {topo.n_nodes} nodes but "
+                f"the scenario has {n_nodes}")
+        return topo
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "lanes": self.lanes,
+                "links": [list(l) for l in self.links],
+                "rows": self.rows, "cols": self.cols,
+                "n_spine": self.n_spine, "n_leaf": self.n_leaf}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TopologySpec":
+        data = dict(data)
+        data["links"] = tuple(tuple(l) for l in data.get("links", ()))
+        return cls(**data)
+
+
+# ----------------------------------------------------------------------
+# workload
+# ----------------------------------------------------------------------
+#: The splitter's fixed ports a tenant can drive locally, plus the
+#: cluster-level remote path (ISP-F over the integrated network).
+_ACCESS_KINDS = ("isp", "host", "net", "remote_isp")
+#: Splitter port names that accept per-tenant QoS parameters.
+_QOS_PORTS = ("isp", "host", "net")
+_RNG_MODES = ("per_worker", "shared")
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One class of closed-loop traffic in a workload mix.
+
+    ``workers`` generators loop random page reads until the workload
+    window closes.  ``access`` picks the path: the node's three splitter
+    ports (``isp`` / ``host`` / ``net``) or ``remote_isp`` — ISP-F reads
+    of node ``target``'s flash over the integrated network.
+
+    RNG discipline is part of the spec because it decides reproducibility:
+    ``per_worker`` gives worker *i* its own ``Random(seed_base + i)``
+    (Figure 13's scheme); ``shared`` draws from one workload-wide stream
+    (the QoS scenario's scheme).
+
+    ``priority`` / ``deadline_ns`` / ``max_in_flight`` program the
+    splitter port's QoS parameters, interpreted by the scenario's
+    ``splitter_policy`` (a :data:`repro.io.POLICIES` discipline);
+    ``weight`` is reserved for weighted-fair-share policies.
+    """
+
+    name: str
+    access: str = "host"
+    workers: int = 1
+    node: int = 0
+    target: Optional[int] = None
+    addr_space: Optional[int] = None
+    software_path: bool = True
+    rng: str = "per_worker"
+    seed_base: int = 0
+    max_in_flight: Optional[int] = None
+    priority: Optional[int] = None
+    deadline_ns: Optional[int] = None
+    weight: float = 1.0
+
+    def __post_init__(self):
+        if not self.name:
+            raise SpecError("tenant needs a non-empty name")
+        if self.access not in _ACCESS_KINDS:
+            raise SpecError(f"unknown access kind {self.access!r}; "
+                            f"expected one of {_ACCESS_KINDS}")
+        if self.workers < 1:
+            raise SpecError(f"tenant {self.name!r}: workers must be >= 1, "
+                            f"got {self.workers}")
+        if self.node < 0:
+            raise SpecError(f"tenant {self.name!r}: negative node")
+        if self.rng not in _RNG_MODES:
+            raise SpecError(f"tenant {self.name!r}: rng must be one of "
+                            f"{_RNG_MODES}, got {self.rng!r}")
+        if self.addr_space is not None and self.addr_space < 1:
+            raise SpecError(f"tenant {self.name!r}: addr_space must be "
+                            f">= 1")
+        if self.max_in_flight is not None and self.max_in_flight < 1:
+            raise SpecError(f"tenant {self.name!r}: max_in_flight must "
+                            f"be >= 1")
+        if self.deadline_ns is not None and self.deadline_ns <= 0:
+            raise SpecError(f"tenant {self.name!r}: deadline_ns must be "
+                            f"positive")
+        if self.weight <= 0:
+            raise SpecError(f"tenant {self.name!r}: weight must be > 0, "
+                            f"got {self.weight}")
+        if self.access == "remote_isp" and self.target is None:
+            raise SpecError(f"tenant {self.name!r}: remote_isp access "
+                            f"needs a target node")
+        if self.has_qos and (self.name not in _QOS_PORTS
+                             or self.access != self.name):
+            # QoS parameters program the splitter port the tenant's own
+            # traffic uses; a name/access mismatch would silently boost
+            # an unrelated port.
+            raise SpecError(
+                f"tenant {self.name!r} sets splitter QoS parameters, so "
+                f"it must be named after — and access — one of the "
+                f"splitter ports {_QOS_PORTS} (access={self.access!r})")
+
+    @property
+    def has_qos(self) -> bool:
+        return (self.max_in_flight is not None
+                or self.priority is not None
+                or self.deadline_ns is not None)
+
+    def qos_kwargs(self) -> Dict[str, Any]:
+        """The ``FlashSplitter.add_port`` keyword overrides this tenant
+        programs (only the explicitly-set ones)."""
+        out: Dict[str, Any] = {}
+        if self.max_in_flight is not None:
+            out["max_in_flight"] = self.max_in_flight
+        if self.priority is not None:
+            out["priority"] = self.priority
+        if self.deadline_ns is not None:
+            out["deadline_ns"] = self.deadline_ns
+        return out
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TenantSpec":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A closed-loop, multi-tenant read workload over a fixed window.
+
+    ``drain=False`` cuts the simulation off exactly at ``duration_ns``
+    (bandwidth methodology: completions before the deadline count) —
+    Figure 13's scheme.  ``drain=True`` stops *issuing* at the deadline
+    but runs every in-flight request to completion — the QoS scenario's
+    scheme, where tail latency of the last victims is the point.
+    """
+
+    duration_ns: int
+    tenants: Tuple[TenantSpec, ...]
+    seed: int = 1234
+    drain: bool = False
+
+    def __post_init__(self):
+        if self.duration_ns <= 0:
+            raise SpecError(f"duration_ns must be positive, "
+                            f"got {self.duration_ns}")
+        tenants = tuple(
+            t if isinstance(t, TenantSpec) else TenantSpec(**t)
+            for t in self.tenants)
+        object.__setattr__(self, "tenants", tenants)
+        if not tenants:
+            raise SpecError("workload needs at least one tenant")
+        names = [t.name for t in tenants]
+        if len(set(names)) != len(names):
+            raise SpecError(f"duplicate tenant names: {names}")
+
+    def to_dict(self) -> dict:
+        return {"duration_ns": self.duration_ns,
+                "tenants": [t.to_dict() for t in self.tenants],
+                "seed": self.seed, "drain": self.drain}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WorkloadSpec":
+        data = dict(data)
+        data["tenants"] = tuple(
+            TenantSpec.from_dict(t) if isinstance(t, dict) else t
+            for t in data.get("tenants", ()))
+        return cls(**data)
+
+
+# ----------------------------------------------------------------------
+# scenario
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete, runnable description of machine + workload.
+
+    Hand it to :class:`~repro.api.session.Session` to build the
+    simulator, node(s) and network; call :meth:`Session.run` to execute
+    the workload and get a :class:`~repro.api.result.RunResult`.
+
+    All validation happens here, at construction: a bad topology name,
+    a zero-node cluster or a non-positive tenant weight raises
+    :class:`SpecError` immediately, never minutes into a simulation.
+    """
+
+    name: str = "scenario"
+    n_nodes: int = 1
+    geometry: FlashGeometry = BENCH_GEOMETRY
+    timing: Optional[FlashTiming] = None
+    host: Optional[HostConfig] = None
+    network: Optional[NetworkConfig] = None
+    topology: TopologySpec = field(default_factory=TopologySpec)
+    n_endpoints: int = 4
+    app_endpoints: int = 0
+    isp_queue_depth: int = 32
+    accelerator_units: int = 8
+    splitter_policy: Optional[str] = None
+    splitter_in_flight: Optional[int] = None
+    trace: bool = True
+    workload: Optional[WorkloadSpec] = None
+
+    def __post_init__(self):
+        # Accept plain dicts for every nested field so from_dict and
+        # hand-written literal specs both work.
+        for attr, cls in (("geometry", FlashGeometry),
+                          ("timing", FlashTiming),
+                          ("host", HostConfig),
+                          ("network", NetworkConfig)):
+            value = getattr(self, attr)
+            if isinstance(value, dict):
+                object.__setattr__(self, attr, cls(**value))
+        if isinstance(self.topology, dict):
+            object.__setattr__(self, "topology",
+                               TopologySpec.from_dict(self.topology))
+        if isinstance(self.workload, dict):
+            object.__setattr__(self, "workload",
+                               WorkloadSpec.from_dict(self.workload))
+
+        if not self.name:
+            raise SpecError("scenario needs a non-empty name")
+        if self.n_nodes < 1:
+            raise SpecError(f"need at least one node, got {self.n_nodes}")
+        if self.app_endpoints < 0:
+            raise SpecError("negative app_endpoints")
+        if self.n_nodes > 1 and self.n_endpoints < 2 + self.app_endpoints:
+            raise SpecError(
+                "need >= 2 endpoints beyond the reserved application "
+                "endpoints (requests + responses)")
+        if self.isp_queue_depth < 1:
+            raise SpecError("isp_queue_depth must be >= 1")
+        if self.accelerator_units < 1:
+            raise SpecError("accelerator_units must be >= 1")
+        if (self.splitter_policy is not None
+                and self.splitter_policy not in POLICIES):
+            raise SpecError(
+                f"unknown splitter policy {self.splitter_policy!r}; "
+                f"known: {sorted(POLICIES)}")
+        if self.splitter_in_flight is not None \
+                and self.splitter_in_flight < 1:
+            raise SpecError("splitter_in_flight must be >= 1")
+        if self.workload is not None:
+            for tenant in self.workload.tenants:
+                if tenant.node >= self.n_nodes:
+                    raise SpecError(
+                        f"tenant {tenant.name!r} issues from node "
+                        f"{tenant.node} but the cluster has "
+                        f"{self.n_nodes} node(s)")
+                target = tenant.target
+                if target is not None and not 0 <= target < self.n_nodes:
+                    raise SpecError(
+                        f"tenant {tenant.name!r} targets node {target} "
+                        f"but the cluster has {self.n_nodes} node(s)")
+                if tenant.access == "remote_isp" and self.n_nodes < 2:
+                    raise SpecError(
+                        f"tenant {tenant.name!r} needs remote nodes "
+                        f"for remote_isp access")
+
+    # -- derived ---------------------------------------------------------
+    def port_qos(self) -> Dict[str, Dict[str, Any]]:
+        """Per-port splitter QoS overrides gathered from the tenants."""
+        if self.workload is None:
+            return {}
+        return {t.name: t.qos_kwargs()
+                for t in self.workload.tenants if t.has_qos}
+
+    # -- serialization ---------------------------------------------------
+    def to_dict(self) -> dict:
+        """A plain-dict (JSON-ready) rendering; inverse of
+        :meth:`from_dict`."""
+        return {
+            "name": self.name,
+            "n_nodes": self.n_nodes,
+            "geometry": dataclasses.asdict(self.geometry),
+            "timing": _opt_dict(self.timing),
+            "host": _opt_dict(self.host),
+            "network": _opt_dict(self.network),
+            "topology": self.topology.to_dict(),
+            "n_endpoints": self.n_endpoints,
+            "app_endpoints": self.app_endpoints,
+            "isp_queue_depth": self.isp_queue_depth,
+            "accelerator_units": self.accelerator_units,
+            "splitter_policy": self.splitter_policy,
+            "splitter_in_flight": self.splitter_in_flight,
+            "trace": self.trace,
+            "workload": (None if self.workload is None
+                         else self.workload.to_dict()),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioSpec":
+        data = dict(data)
+        geometry = _opt_load(FlashGeometry, data.get("geometry"))
+        if geometry is None:
+            # Omitted geometry falls through to the constructor default
+            # (BENCH_GEOMETRY) — the same machine a literal
+            # ``ScenarioSpec(...)`` without a geometry gets.
+            data.pop("geometry", None)
+        else:
+            data["geometry"] = geometry
+        data["timing"] = _opt_load(FlashTiming, data.get("timing"))
+        data["host"] = _opt_load(HostConfig, data.get("host"))
+        data["network"] = _opt_load(NetworkConfig, data.get("network"))
+        if data.get("topology") is not None:
+            data["topology"] = TopologySpec.from_dict(data["topology"])
+        else:
+            data.pop("topology", None)
+        if data.get("workload") is not None:
+            data["workload"] = WorkloadSpec.from_dict(data["workload"])
+        return cls(**data)

@@ -1,0 +1,144 @@
+"""Extensions: bandwidth scaling vs node count, and SQL filter offload.
+
+Neither is a paper figure; both answer the questions the paper's
+Section 8 plans raise, using the declarative scenario API.
+"""
+
+from __future__ import annotations
+
+from ..analysis import sweep
+from ..api import (
+    BENCH_GEOMETRY,
+    RunResult,
+    ScenarioSpec,
+    Session,
+    TenantSpec,
+    TopologySpec,
+    WorkloadSpec,
+    experiment,
+)
+from ..apps.sql import FlashTable, TableScan, make_orders_table
+from ..isp.filter import col
+from ..network import NetworkConfig
+
+# ----------------------------------------------------------------------
+# Extension: aggregate ISP bandwidth vs remote node count
+# ----------------------------------------------------------------------
+EXT_WINDOW_NS = 2_000_000
+EXT_NET = NetworkConfig(max_packet_payload=1024)
+EXT_LANES = 2
+
+
+def scaling_spec(n_remotes: int) -> ScenarioSpec:
+    """One reader node + ``n_remotes`` remotes over two lanes each."""
+    tenants = [TenantSpec("local", access="isp", workers=128)]
+    for remote in range(1, n_remotes + 1):
+        tenants.append(TenantSpec(
+            f"remote-{remote}", access="remote_isp",
+            workers=48 * EXT_LANES, target=remote,
+            seed_base=1000 * remote))
+    links = tuple((0, remote)
+                  for remote in range(1, n_remotes + 1)
+                  for _ in range(EXT_LANES))
+    topology = (TopologySpec(kind="custom", links=links) if links
+                else TopologySpec())
+    return ScenarioSpec(
+        name=f"ext-scaling-{n_remotes}", n_nodes=1 + n_remotes,
+        geometry=BENCH_GEOMETRY, network=EXT_NET, topology=topology,
+        n_endpoints=1 + 2 * EXT_LANES,
+        workload=WorkloadSpec(duration_ns=EXT_WINDOW_NS,
+                              tenants=tuple(tenants)))
+
+
+def aggregate_gbs(n_remotes: int) -> float:
+    run = Session(scaling_spec(n_remotes)).run()
+    return run.metrics["total_bandwidth_gbs"]
+
+
+@experiment("ext_scaling", title="aggregate bandwidth vs node count",
+            produces="benchmarks/test_ext_scaling.py",
+            label="Extension")
+def run_ext_scaling() -> RunResult:
+    swept = sweep("remote nodes", [0, 1, 2, 3], aggregate_gbs)
+
+    result = RunResult("ext_scaling")
+    result.series = {"remote_nodes": swept.values,
+                     "aggregate_gbs": swept.results}
+    result.metrics["aggregate_gbs"] = swept.as_dict()
+    result.metrics["monotone"] = swept.is_monotone_increasing()
+    result.add_table(
+        "ext_scaling",
+        "Extension: ISP bandwidth vs remote node count "
+        "(Figure 13 extended)",
+        ["Remote nodes", "Aggregate (GB/s)", "Configuration"],
+        [[n, f"{gbs:.2f}",
+          "local flash only" if n == 0
+          else f"+{EXT_LANES} serial lanes x {n} remotes"]
+         for n, gbs in zip(swept.values, swept.results)])
+    return result
+
+
+# ----------------------------------------------------------------------
+# Extension: SQL filter offload vs selectivity
+# ----------------------------------------------------------------------
+N_SQL_ROWS = 4000
+# amount > threshold: thresholds chosen for ~1% / ~10% / ~50%
+# selectivity.
+SQL_THRESHOLDS = [(9900, "1%"), (9000, "10%"), (5000, "50%")]
+
+
+def sql_pair(threshold: int):
+    predicate = col("amount") > threshold
+    results = {}
+    for path in ("offloaded", "host_scan"):
+        session = Session(ScenarioSpec(name=f"ext-sql-{path}",
+                                       geometry=BENCH_GEOMETRY,
+                                       isp_queue_depth=4))
+        sim = session.sim
+        schema, rows = make_orders_table(N_SQL_ROWS, seed=2)
+        table = FlashTable(session.node, "orders", schema)
+        sim.run_process(table.load(rows))
+        scan = TableScan(table, n_engines=8)
+
+        def proc(sim, scan=scan, path=path):
+            return (yield from getattr(scan, path)(predicate))
+
+        result, stats = sim.run_process(proc(sim))
+        results[path] = (result, stats)
+    # Both paths must agree exactly.
+    assert results["offloaded"][0] == results["host_scan"][0]
+    return results
+
+
+@experiment("ext_sql_offload", title="SQL offload vs selectivity",
+            produces="benchmarks/test_ext_sql_offload.py",
+            label="Extension")
+def run_ext_sql_offload() -> RunResult:
+    measured = {label: sql_pair(threshold)
+                for threshold, label in SQL_THRESHOLDS}
+
+    result = RunResult("ext_sql_offload")
+    result.metrics["stats"] = {
+        label: {path: dict(stats) for path, (_, stats) in pair.items()}
+        for label, pair in measured.items()}
+    rows = []
+    for _, label in SQL_THRESHOLDS:
+        offl_stats = measured[label]["offloaded"][1]
+        host_stats = measured[label]["host_scan"][1]
+        saved = (host_stats["result_wire_bytes"]
+                 / max(1, offl_stats["result_wire_bytes"]))
+        rows.append([
+            label,
+            offl_stats["rows_returned"],
+            offl_stats["result_wire_bytes"],
+            host_stats["result_wire_bytes"],
+            f"{saved:.0f}x",
+        ])
+    result.add_table(
+        "ext_sql_offload",
+        "Extension: in-store SQL filtering vs selectivity "
+        "(result bytes over PCIe)",
+        ["Selectivity", "Rows", "Offload wire B", "Host wire B",
+         "Movement saved"],
+        rows)
+    return result

@@ -1,0 +1,87 @@
+"""Figure 12: latency breakdown of remote 8 KB page access.
+
+Four access paths (ISP-F, H-F, H-RH-F, H-D), each split into software /
+storage / data-transfer / network components.  Each path now runs under
+the unified request tracer, so next to the analytic breakdown the
+result carries the traced mean and p99 end-to-end latency (the ROADMAP
+"p99 columns next to the means" item) and the per-stage histograms.
+"""
+
+from __future__ import annotations
+
+from ..api import BENCH_GEOMETRY, RunResult, ScenarioSpec, Session, \
+    experiment
+from ..flash import PhysAddr
+from ..sim import units
+
+PATHS = ["ISP-F", "H-F", "H-RH-F", "H-D"]
+#: Repetitions per path — the breakdown comes from the first (cold,
+#: uncontended, deterministic) access; the repetitions feed the traced
+#: latency histograms behind the mean/p99 columns.
+REPEATS = 16
+
+
+def measure_path(path: str):
+    """Run one access path; return (first breakdown, tracer)."""
+    session = Session(ScenarioSpec(name=f"fig12-{path}", n_nodes=3,
+                                   geometry=BENCH_GEOMETRY))
+    sim, cluster = session.sim, session.cluster
+    addr = PhysAddr(node=1, page=3)
+    cluster.nodes[1].device.store.program(addr, b"remote page data")
+    cluster.nodes[1].dram.store(0, b"remote dram data")
+
+    def proc(sim):
+        first = None
+        for _ in range(REPEATS):
+            if path == "ISP-F":
+                _, bd = yield from cluster.isp_remote_flash(0, addr)
+            elif path == "H-F":
+                _, bd = yield from cluster.host_remote_flash(0, addr)
+            elif path == "H-RH-F":
+                _, bd = yield from cluster.host_remote_via_host(0, addr)
+            else:
+                _, bd = yield from cluster.host_remote_dram(0, 1, 0)
+            if first is None:
+                first = bd
+        return first
+
+    breakdown = sim.run_process(proc(sim))
+    return breakdown, session.tracer
+
+
+@experiment("fig12", title="remote access latency breakdown",
+            produces="benchmarks/test_fig12_latency.py",
+            label="Figure 12")
+def run_fig12() -> RunResult:
+    result = RunResult("fig12")
+    rows = []
+    for path in PATHS:
+        breakdown, tracer = measure_path(path)
+        overall = tracer.overall_latency()
+        result.metrics[path] = {
+            "breakdown": breakdown.as_dict(),
+            "total_ns": breakdown.total,
+            "mean_ns": overall.mean,
+            "p99_ns": overall.percentile(99),
+            "count": overall.count,
+            "stages": tracer.stage_summary(),
+        }
+        rows.append([
+            path,
+            f"{units.to_us(breakdown.software):.1f}",
+            f"{units.to_us(breakdown.storage):.1f}",
+            f"{units.to_us(breakdown.transfer):.1f}",
+            f"{units.to_us(breakdown.network):.2f}",
+            f"{units.to_us(breakdown.total):.1f}",
+            f"{units.to_us(overall.mean):.1f}",
+            f"{units.to_us(overall.percentile(99)):.1f}",
+        ])
+    result.add_table(
+        "fig12_latency_breakdown",
+        "Figure 12: latency of remote data access "
+        "(paper shape: ISP-F < H-F < H-RH-F; H-D no storage; "
+        f"mean/p99 traced over {REPEATS} accesses)",
+        ["Access", "Software(us)", "Storage(us)", "Transfer(us)",
+         "Network(us)", "Total(us)", "Mean(us)", "p99(us)"],
+        rows)
+    return result

@@ -1,0 +1,53 @@
+"""Figure 20: distributed graph traversal throughput.
+
+Dependent page-chain lookups across a 3-node cluster under the six
+access configurations; every configuration must visit the identical
+(oracle-verified) vertex sequence.
+"""
+
+from __future__ import annotations
+
+from ..api import BENCH_GEOMETRY, RunResult, ScenarioSpec, Session, \
+    experiment
+from ..apps import DistributedGraph, GraphTraversal
+
+CONFIGS = ["isp-f", "h-f", "h-rh-f", "dram-50f", "dram-30f", "h-dram"]
+LABELS = {"isp-f": "ISP-F", "h-f": "H-F", "h-rh-f": "H-RH-F",
+          "dram-50f": "50%F", "dram-30f": "30%F", "h-dram": "H-DRAM"}
+N_VERTICES = 600
+STEPS = 120
+
+
+def measure(config: str) -> float:
+    session = Session(ScenarioSpec(name=f"fig20-{config}", n_nodes=3,
+                                   geometry=BENCH_GEOMETRY))
+    sim = session.sim
+    graph = DistributedGraph(session.cluster, N_VERTICES, avg_degree=6,
+                             seed=13)
+    traversal = GraphTraversal(graph, home_node=0, seed=13)
+
+    def proc(sim):
+        rate, paths = yield from traversal.run(config, 1, STEPS)
+        return rate, paths
+
+    rate, paths = sim.run_process(proc(sim))
+    assert paths[0] == graph.reference_walk(1, STEPS), config
+    return rate
+
+
+@experiment("fig20", title="distributed graph traversal",
+            produces="benchmarks/test_fig20_graph.py",
+            label="Figure 20")
+def run_fig20() -> RunResult:
+    rates = {config: measure(config) for config in CONFIGS}
+
+    result = RunResult("fig20")
+    result.metrics["rates"] = rates
+    result.add_table(
+        "fig20_graph",
+        "Figure 20: graph traversal performance "
+        "(paper shape: ISP-F ~3x H-RH-F, ISP-F > 50%F, "
+        "H-DRAM best software config)",
+        ["Access Type", "Lookups/s"],
+        [[LABELS[c], round(rates[c])] for c in CONFIGS])
+    return result

@@ -1,0 +1,84 @@
+"""Figure 21: string search bandwidth and host CPU utilization.
+
+The search file lives on one flash card (the paper's single-board
+figure); all three configurations search the same haystack and must
+find exactly the same (oracle-verified) matches.
+"""
+
+from __future__ import annotations
+
+from ..api import ONE_CARD_GEOMETRY, RunResult, ScenarioSpec, Session, \
+    experiment
+from ..apps import SoftwareGrep, StringSearchISP, make_text_corpus
+from ..devices import CommoditySSD, HardDisk
+from ..host import HostConfig, HostCPU
+from ..sim import Simulator
+
+NEEDLE = b"BlueDBM-needle"
+CORPUS_BYTES = 1024 * 8192  # 8 MB haystack
+N_MATCHES = 20
+
+PAPER = {"Flash/ISP": ("1100", "~0%"),
+         "Flash/SW Grep": ("600", "65%"),
+         "HDD/SW Grep": ("147", "13%")}
+
+
+def _corpus():
+    return make_text_corpus(CORPUS_BYTES, NEEDLE, N_MATCHES, seed=21)
+
+
+def isp_search():
+    # Per-stream queue depth 4: "4 read commands can saturate a single
+    # flash bus" (Section 7.3); 32 engines x 4 = the card's 128 tags.
+    session = Session(ScenarioSpec(name="fig21-isp",
+                                   geometry=ONE_CARD_GEOMETRY,
+                                   isp_queue_depth=4))
+    sim = session.sim
+    app = StringSearchISP(session.node, engines_per_bus=4)
+    corpus, expected = _corpus()
+
+    def proc(sim):
+        yield from app.setup(corpus)
+        return (yield from app.run(NEEDLE))
+
+    matches, gbs, cpu = sim.run_process(proc(sim))
+    assert matches == expected
+    return gbs, cpu
+
+
+def grep_search(device_factory):
+    sim = Simulator()
+    cpu = HostCPU(sim, HostConfig())
+    grep = SoftwareGrep(sim, cpu, device_factory(sim))
+    corpus, expected = _corpus()
+    n_pages = grep.load(corpus)
+
+    def proc(sim):
+        return (yield from grep.run(NEEDLE, n_pages))
+
+    matches, gbs, util = sim.run_process(proc(sim))
+    assert matches == expected
+    return gbs, util
+
+
+@experiment("fig21", title="string search vs grep",
+            produces="benchmarks/test_fig21_strsearch.py",
+            label="Figure 21")
+def run_fig21() -> RunResult:
+    measured = {
+        "Flash/ISP": isp_search(),
+        "Flash/SW Grep": grep_search(lambda s: CommoditySSD(s)),
+        "HDD/SW Grep": grep_search(lambda s: HardDisk(s)),
+    }
+
+    result = RunResult("fig21")
+    result.metrics = {name: {"gbs": gbs, "cpu": cpu}
+                      for name, (gbs, cpu) in measured.items()}
+    result.add_table(
+        "fig21_strsearch",
+        "Figure 21: string search bandwidth and CPU utilization",
+        ["Search Method", "MB/s", "CPU", "Paper MB/s", "Paper CPU"],
+        [[name, f"{gbs * 1000:.0f}", f"{cpu:.0%}",
+          PAPER[name][0], PAPER[name][1]]
+         for name, (gbs, cpu) in measured.items()])
+    return result

@@ -1,0 +1,119 @@
+"""Tables 1-3: FPGA resource usage and node power."""
+
+from __future__ import annotations
+
+from ..api import RunResult, experiment
+from ..flash import DEFAULT_GEOMETRY
+from ..host import HostConfig
+from ..reporting import (
+    NodePower,
+    PowerModel,
+    artix7_flash_controller,
+    fits_virtex7,
+    ramcloud_equivalent,
+    totals,
+    virtex7_host,
+)
+from ..reporting.resources import (
+    ARTIX7_BRAM,
+    ARTIX7_LUTS,
+    ARTIX7_REGS,
+    VIRTEX7_LUTS,
+    VIRTEX7_REGS,
+)
+
+
+@experiment("table1", title="Artix-7 flash controller resources",
+            produces="benchmarks/test_table1_flash_resources.py",
+            label="Table 1")
+def run_table1() -> RunResult:
+    rows = artix7_flash_controller(DEFAULT_GEOMETRY)
+    total = totals(rows)
+
+    result = RunResult("table1")
+    table_rows = [[r.name, r.count, r.luts, r.registers, r.bram]
+                  for r in rows]
+    table_rows.append([
+        f"Artix-7 Total ({total.total_luts / ARTIX7_LUTS:.0%} LUTs, "
+        f"{total.total_registers / ARTIX7_REGS:.0%} regs, "
+        f"{total.total_bram / ARTIX7_BRAM:.0%} BRAM)",
+        "", total.total_luts, total.total_registers, total.total_bram,
+    ])
+    result.add_table(
+        "table1_flash_resources",
+        "Table 1: Flash controller on Artix-7 resource usage "
+        "(paper total: 75225 LUTs / 56%)",
+        ["Module Name", "#", "LUTs", "Registers", "BRAM"], table_rows)
+    result.metrics["modules"] = {
+        r.name: {"count": r.count, "luts": r.luts,
+                 "registers": r.registers, "bram": r.bram}
+        for r in rows}
+    result.metrics["total"] = {
+        "luts": total.total_luts, "registers": total.total_registers,
+        "bram": total.total_bram,
+        "lut_fraction": total.total_luts / ARTIX7_LUTS,
+        "bram_fraction": total.total_bram / ARTIX7_BRAM,
+    }
+    return result
+
+
+@experiment("table2", title="Virtex-7 host resources",
+            produces="benchmarks/test_table2_host_resources.py",
+            label="Table 2")
+def run_table2() -> RunResult:
+    rows = virtex7_host(host=HostConfig())
+    total = totals(rows)
+
+    result = RunResult("table2")
+    table_rows = [[r.name, r.count, r.total_luts, r.total_registers,
+                   r.total_bram] for r in rows]
+    table_rows.append([
+        f"Virtex-7 Total ({total.total_luts / VIRTEX7_LUTS:.0%} LUTs, "
+        f"{total.total_registers / VIRTEX7_REGS:.0%} regs)",
+        "", total.total_luts, total.total_registers, total.total_bram,
+    ])
+    result.add_table(
+        "table2_host_resources",
+        "Table 2: Host Virtex-7 resource usage "
+        "(paper total: 135271 LUTs / 45%)",
+        ["Module Name", "#", "LUTs", "Registers", "RAMB36"], table_rows)
+    result.metrics["modules"] = {
+        r.name: {"count": r.count, "luts": r.total_luts,
+                 "registers": r.total_registers, "bram": r.total_bram}
+        for r in rows}
+    result.metrics["total"] = {
+        "luts": total.total_luts, "registers": total.total_registers,
+        "bram": total.total_bram,
+        "lut_fraction": total.total_luts / VIRTEX7_LUTS,
+    }
+    result.metrics["fits_virtex7"] = fits_virtex7(rows)
+    return result
+
+
+@experiment("table3", title="node power (240 W, <20% added)",
+            produces="benchmarks/test_table3_power.py",
+            label="Table 3")
+def run_table3() -> RunResult:
+    node = NodePower()
+    rack = PowerModel(n_nodes=20)
+    cloud = ramcloud_equivalent(rack.capacity_bytes)
+
+    result = RunResult("table3")
+    result.add_table(
+        "table3_power",
+        "Table 3: BlueDBM estimated power consumption "
+        "(paper: 240 W/node, <20% added)",
+        ["Component", "Power (Watts)"],
+        [[name, watts] for name, watts in node.rows().items()])
+    result.add_table(
+        "table3_power_comparison",
+        "Appliance vs DRAM cloud at equal capacity",
+        ["System", "Servers", "Power (W)"],
+        [["BlueDBM rack (20 TB flash)", rack.n_nodes, rack.cluster_w],
+         ["RAMCloud-style (20 TB DRAM)", int(cloud["servers"]),
+          cloud["power_w"]]])
+    result.metrics["node_rows"] = dict(node.rows())
+    result.metrics["added_fraction"] = node.added_fraction
+    result.metrics["rack_w"] = rack.cluster_w
+    result.metrics["cloud_w"] = cloud["power_w"]
+    return result

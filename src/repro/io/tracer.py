@@ -146,6 +146,26 @@ class RequestTracer:
             }
         return out
 
+    def overall_latency(self) -> LatencyHistogram:
+        """End-to-end latency across every tenant, as one histogram.
+
+        The per-path mean/p99 columns of the figure benchmarks come
+        from here when a run has a single logical tenant per tracer.
+        """
+        merged = LatencyHistogram("overall")
+        for hist in self.tenant_latency.values():
+            merged.merge(hist)
+        return merged
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready rendering of everything the tracer aggregated."""
+        return {
+            "completed": self.completed_count,
+            "dropped": self.dropped,
+            "stages": self.stage_summary(),
+            "tenants": self.tenant_summary(),
+        }
+
     @property
     def completed_count(self) -> int:
         return sum(self.tenant_completed.values())

@@ -1,17 +1,19 @@
-"""The hand-maintained experiments registry must not drift.
+"""The decorator-based experiment registry must not drift.
 
-``python -m repro experiments`` prints ``repro.__main__.EXPERIMENTS`` as
-the catalogue of everything the repo reproduces; nothing enforces that a
-newly-added benchmark file gets an entry.  This test closes the loop in
-both directions: every ``benchmarks/test_*.py`` matches a registry entry
-(entries may use glob patterns, e.g. ``test_ablation_*.py``), and every
-registry entry points at at least one real file.
+``repro list`` prints the registry as the catalogue of everything the
+repo reproduces; the ``@experiment`` decorator builds it next to the
+measurement code.  These tests close the loop in every direction:
+every registered id resolves to a runnable callable and an existing
+benchmark file, every benchmark file is produced by some experiment,
+and the CLI's ``list`` output matches the registry exactly.
 """
 
-import fnmatch
+import io
 import pathlib
+from contextlib import redirect_stdout
 
-from repro.__main__ import EXPERIMENTS
+from repro.__main__ import cmd_list
+from repro.api import Experiment, all_experiments, get_experiment
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 BENCH_DIR = REPO_ROOT / "benchmarks"
@@ -21,44 +23,54 @@ def _benchmark_files():
     return sorted(p.name for p in BENCH_DIR.glob("test_*.py"))
 
 
-def _registry_patterns():
-    patterns = []
-    for _, _, path in EXPERIMENTS:
-        prefix = "benchmarks/"
-        assert path.startswith(prefix), (
-            f"registry path {path!r} does not live under benchmarks/")
-        patterns.append(path[len(prefix):])
-    return patterns
+def test_registry_is_populated():
+    assert len(all_experiments()) >= 16
 
 
-def test_benchmarks_exist():
-    assert _benchmark_files(), "no benchmark files found — wrong layout?"
+def test_every_experiment_is_runnable_and_well_formed():
+    for exp in all_experiments():
+        assert isinstance(exp, Experiment)
+        assert exp.exp_id and exp.title and exp.label
+        assert callable(exp.runner)
+        assert get_experiment(exp.exp_id) is exp
+
+
+def test_every_experiment_produces_an_existing_benchmark():
+    for exp in all_experiments():
+        assert exp.produces.startswith("benchmarks/"), (
+            f"{exp.exp_id}: produces {exp.produces!r} does not live "
+            f"under benchmarks/")
+        assert (REPO_ROOT / exp.produces).is_file(), (
+            f"{exp.exp_id}: {exp.produces} does not exist")
 
 
 def test_every_benchmark_is_registered():
-    patterns = _registry_patterns()
-    unregistered = [
-        name for name in _benchmark_files()
-        if not any(fnmatch.fnmatch(name, pattern) for pattern in patterns)
-    ]
+    produced = {pathlib.Path(exp.produces).name
+                for exp in all_experiments()}
+    unregistered = [name for name in _benchmark_files()
+                    if name not in produced]
     assert not unregistered, (
-        f"benchmarks missing from repro.__main__.EXPERIMENTS: "
-        f"{unregistered} — add an entry so "
-        f"`python -m repro experiments` stays complete")
+        f"benchmarks with no registered experiment: {unregistered} — "
+        f"register one with @experiment so `repro list` stays complete")
 
 
-def test_every_registry_entry_matches_a_file():
-    files = _benchmark_files()
-    stale = [
-        pattern for pattern in _registry_patterns()
-        if not any(fnmatch.fnmatch(name, pattern) for name in files)
-    ]
-    assert not stale, (
-        f"EXPERIMENTS entries with no matching benchmark file: {stale}")
+def test_experiment_ids_are_unique():
+    ids = [exp.exp_id for exp in all_experiments()]
+    assert len(set(ids)) == len(ids)
 
 
-def test_registry_rows_are_well_formed():
-    for row in EXPERIMENTS:
-        assert len(row) == 3
-        exp_id, title, path = row
-        assert exp_id and title and path
+def test_cli_list_matches_registry_exactly():
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        assert cmd_list() == 0
+    lines = [line for line in buffer.getvalue().splitlines()
+             if line and not line.startswith("run one:")]
+    experiments = all_experiments()
+    assert len(lines) == len(experiments)
+    for line, exp in zip(lines, experiments):
+        # Each row carries exactly this experiment's id, label, title
+        # and benchmark path, in registry order.
+        assert line.startswith(exp.exp_id), (line, exp.exp_id)
+        assert exp.label in line
+        assert exp.title in line
+        assert line.rstrip().endswith(exp.produces)
