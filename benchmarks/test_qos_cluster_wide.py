@@ -1,0 +1,66 @@
+"""Cluster-wide QoS: remote tenants on three nodes, one splitter.
+
+Spec + assertions only: :func:`repro.experiments.qos.qos_cluster_scenario`
+builds the declarative :class:`~repro.api.ScenarioSpec` (three remote
+ISP-F tenants, two serial lanes each, contending for node 0's 8-slot
+admission stage over the integrated storage network) and the registered
+``qos_cluster`` experiment runs it under FIFO, weighted fair share and
+token-bucket (``repro run qos_cluster``).
+
+The paper-shaped expectations:
+
+* FIFO equalizes grant counts — every remote tenant lands within a few
+  percent of a 1/3 share regardless of its configured weight;
+* weighted fair share converges each tenant's *bandwidth* share to its
+  1:2:3 weight ratio within 5 percentage points;
+* token-bucket caps every tenant at ``rate x elapsed + one burst`` —
+  the caps are never exceeded.
+"""
+
+from conftest import run_registered
+
+from repro.experiments.qos import CLUSTER_POLICIES, CLUSTER_WEIGHTS
+
+
+def test_qos_cluster_policies(benchmark, report_tables):
+    result = run_registered(benchmark, "qos_cluster")
+    report_tables(result)
+    measured = result.metrics["policies"]
+    names = [f"remote-{r}" for r in CLUSTER_WEIGHTS]
+
+    # Every policy serves every remote tenant (no starvation).
+    for policy in CLUSTER_POLICIES:
+        for name in names:
+            assert measured[policy]["tenants"][name]["completed"] > 0, (
+                f"{policy} starved {name}")
+
+    # FIFO is weight-blind: equal shares.
+    for name in names:
+        share = measured["fifo"]["tenants"][name]["share"]
+        assert abs(share - 1 / 3) < 0.05, (
+            f"fifo should equalize shares; {name} got {share:.3f}")
+
+    # WFQ bandwidth shares converge to the configured weight ratios
+    # within 5 percentage points.
+    for name in names:
+        stats = measured["wfq"]["tenants"][name]
+        assert abs(stats["share"] - stats["target_share"]) < 0.05, (
+            f"wfq share for {name}: {stats['share']:.3f} vs target "
+            f"{stats['target_share']:.3f}")
+
+    # Token-bucket caps are never exceeded by more than one burst.
+    for name in names:
+        stats = measured["token-bucket"]["tenants"][name]
+        assert stats["bytes"] <= stats["cap_bytes"], (
+            f"token-bucket cap exceeded for {name}: "
+            f"{stats['bytes']:.0f} B > {stats['cap_bytes']:.0f} B")
+
+    # The per-tenant accounting at the contended splitter reconciles
+    # with the tracer's end-to-end per-tenant byte counts.
+    for policy in CLUSTER_POLICIES:
+        ledger = measured[policy]["splitter_bandwidth"][0]
+        for name in names:
+            assert (ledger[name]["bytes"]
+                    == measured[policy]["tenants"][name]["bytes"]), (
+                f"{policy}: splitter ledger and tracer disagree "
+                f"for {name}")

@@ -1,0 +1,76 @@
+"""GC/wear-leveling as a background tenant: victim p99 per policy.
+
+Spec + assertions only: :func:`repro.experiments.qos.qos_gc_scenario`
+builds the declarative :class:`~repro.api.ScenarioSpec` — a foreground
+ISP tenant reading a hot set, and GC modeled as a *background* tenant
+(``background=True``): 24 relocation workers injected at the splitter
+through a dedicated low-priority port, each looping read-victim /
+relocate-into-scratch-block / erase-on-block-cycle.  The registered
+``qos_gc`` experiment runs it under all six policies
+(``repro run qos_gc``).
+
+The paper-shaped expectations:
+
+* under FIFO, GC's backlog dictates the victim's p99 (several times
+  the GC-free baseline) and the victim blows its 500 us deadline;
+* round-robin bounds the damage; weighted fair share (victim weight
+  4.0 vs GC 0.25) and token-bucket (GC capped at 50 MB/s) hold the
+  victim's p99 within a small multiple of baseline;
+* strict priority and EDF protect the victim like wfq — GC never
+  outranks the foreground tenant;
+* no policy starves GC outright — background work still proceeds.
+"""
+
+from conftest import run_registered
+
+from repro.experiments.qos import GC_BURST_KB, GC_POLICIES, GC_RATE_MBPS
+
+
+def test_qos_gc_background_tenant(benchmark, report_tables):
+    result = run_registered(benchmark, "qos_gc")
+    report_tables(result)
+    measured = result.metrics["policies"]
+    baseline_p99 = result.metrics["baseline"]["victim"]["p99_ns"]
+
+    # GC makes progress under every policy (no starvation), and the
+    # victim is served under every policy.
+    for policy in GC_POLICIES:
+        assert measured[policy]["gc"]["completed"] > 0, (
+            f"{policy} starved gc")
+        assert measured[policy]["victim"]["completed"] > 0, (
+            f"{policy} starved the victim")
+
+    fifo = measured["fifo"]["victim"]
+    # FIFO lets GC traffic dictate the victim's tail: p99 blows up to
+    # several times the GC-free baseline and deadlines are missed.
+    assert fifo["p99_ns"] > 4 * baseline_p99, (
+        f"expected FIFO victim p99 >> baseline: "
+        f"{fifo['p99_ns']:.0f} vs {baseline_p99:.0f}")
+    assert fifo["deadline_misses"] > 0
+
+    # wfq and token-bucket bound the victim's p99 well below FIFO and
+    # within a small multiple of the GC-free baseline.
+    for policy in ("wfq", "token-bucket"):
+        victim = measured[policy]["victim"]
+        assert victim["p99_ns"] < 0.5 * fifo["p99_ns"], (
+            f"{policy} does not bound victim p99: "
+            f"{victim['p99_ns']:.0f} vs fifo {fifo['p99_ns']:.0f}")
+        assert victim["p99_ns"] < 3 * baseline_p99, (
+            f"{policy} victim p99 {victim['p99_ns']:.0f} vs baseline "
+            f"{baseline_p99:.0f}")
+        assert victim["completed"] > 3 * fifo["completed"]
+
+    # Priority and EDF (tight victim deadline) protect at least as well
+    # as round-robin.
+    rr_p99 = measured["rr"]["victim"]["p99_ns"]
+    for policy in ("priority", "edf"):
+        assert measured[policy]["victim"]["p99_ns"] <= rr_p99
+
+    # Token bucket honors GC's bandwidth cap: bytes through the
+    # splitter never exceed rate x elapsed + one burst.
+    bucket = measured["token-bucket"]
+    cap = (GC_RATE_MBPS * 1e6 / 1e9 * bucket["elapsed_ns"]
+           + GC_BURST_KB * 1024)
+    assert bucket["gc_bandwidth"]["bytes"] <= cap, (
+        f"gc exceeded its token-bucket cap: "
+        f"{bucket['gc_bandwidth']['bytes']:.0f} B > {cap:.0f} B")

@@ -1,4 +1,4 @@
-"""Multi-tenant QoS: one storage device, three tenants, four policies.
+"""Multi-tenant QoS: one storage device, three tenants, six policies.
 
 The paper's scheduler is "a simple FIFO-based policy" (Section 4); this
 example shows what the pluggable QoS framework buys when the node's

@@ -15,10 +15,12 @@ scenario: :meth:`run` executes the spec's
 
 from __future__ import annotations
 
+import itertools
 import random
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..core import BlueDBMCluster, BlueDBMNode
+from ..flash import PhysAddr
 from ..io import RequestTracer
 from ..sim import Simulator
 from .result import RunResult
@@ -54,6 +56,7 @@ class Session:
             splitter_in_flight=spec.splitter_in_flight,
             tracer=self.tracer,
             port_qos=spec.port_qos(),
+            bandwidth_window_ns=spec.bandwidth_window_ns,
         )
         if spec.n_nodes == 1:
             self.cluster: Optional[BlueDBMCluster] = None
@@ -69,6 +72,32 @@ class Session:
                 node_kwargs=node_kwargs,
                 tracer=self.tracer)
             self.nodes = self.cluster.nodes
+        self._gc_ports: Dict[str, object] = {}
+        self._gc_units = itertools.count()
+        if spec.workload is not None:
+            self._configure_qos()
+
+    def _configure_qos(self) -> None:
+        """Program per-tenant admission QoS; attach background ports.
+
+        Weight/rate/burst parameters land on the splitter that actually
+        arbitrates the tenant's traffic — the *target* node's for
+        remote tenants — keyed by the same label the tenant's requests
+        carry through the admission stage.  Background (GC) tenants get
+        a dedicated splitter port named after them, programmed with
+        their port-level QoS (priority / deadline / in-flight cap).
+        """
+        for tenant in self.spec.workload.tenants:
+            contended = (tenant.target if tenant.access == "remote_isp"
+                         else tenant.node)
+            splitter = self.nodes[contended].splitter
+            if tenant.background:
+                self._gc_ports[tenant.name] = splitter.add_port(
+                    tenant=tenant.name, **tenant.qos_kwargs())
+            if tenant.has_policy_qos:
+                splitter.configure_tenant(
+                    tenant.sched_label(), weight=tenant.weight,
+                    rate_mbps=tenant.rate_mbps, burst_kb=tenant.burst_kb)
 
     @property
     def node(self) -> BlueDBMNode:
@@ -93,14 +122,16 @@ class Session:
         counters = {t.name: 0 for t in workload.tenants}
         shared_rng = random.Random(workload.seed)
         for tenant in workload.tenants:
-            issue = self._issuer(tenant)
+            issue = None if tenant.background else self._issuer(tenant)
             for wid in range(tenant.workers):
                 rng = (shared_rng if tenant.rng == "shared"
                        else random.Random(tenant.seed_base + wid))
-                self.sim.process(
-                    self._worker(tenant, rng, issue,
-                                 workload.duration_ns, counters),
-                    name=f"{tenant.name}-worker")
+                worker = (self._gc_worker(tenant, rng,
+                                          workload.duration_ns, counters)
+                          if tenant.background
+                          else self._worker(tenant, rng, issue,
+                                            workload.duration_ns, counters))
+                self.sim.process(worker, name=f"{tenant.name}-worker")
         if workload.drain:
             self.sim.run()
         else:
@@ -117,6 +148,62 @@ class Session:
                       else min(tenant.addr_space, geometry.pages_per_node))
         while sim.now < deadline:
             yield from issue(rng.randrange(addr_space))
+            counters[tenant.name] += 1
+
+    def _gc_worker(self, tenant: TenantSpec, rng: random.Random,
+                   deadline: int, counters: dict):
+        """One GC/wear-leveling loop: read a victim page, relocate it
+        into a private scratch block, erase scratch blocks as they
+        cycle.  All traffic flows through the tenant's dedicated
+        splitter port, so the admission policy arbitrates it against
+        foreground tenants.
+
+        Each worker claims one (card, bus, chip) unit from the top of
+        the geometry and the top blocks of that chip as scratch, so GC
+        programs/erases never collide across workers and stay clear of
+        the low blocks that striped foreground address spaces use
+        first.
+        """
+        sim = self.sim
+        geometry = self.spec.geometry
+        port = self._gc_ports[tenant.name]
+        n_units = (geometry.cards_per_node * geometry.buses_per_card
+                   * geometry.chips_per_bus)
+        slot = next(self._gc_units)
+        if slot >= n_units:
+            raise SpecError(
+                f"scenario {self.spec.name!r} spawns more GC workers "
+                f"than the geometry has chips ({n_units}); each worker "
+                f"needs a private scratch chip")
+        unit = n_units - 1 - slot
+        bus = unit % geometry.buses_per_card
+        rest = unit // geometry.buses_per_card
+        card = rest % geometry.cards_per_node
+        chip = rest // geometry.cards_per_node
+        scratch = [geometry.blocks_per_chip - 1 - i
+                   for i in range(min(2, geometry.blocks_per_chip))]
+        blocks = itertools.cycle(scratch)
+        addr_space = (geometry.pages_per_node if tenant.addr_space is None
+                      else min(tenant.addr_space, geometry.pages_per_node))
+
+        def scratch_addr(block: int, page: int) -> PhysAddr:
+            return PhysAddr(node=tenant.node, card=card, bus=bus,
+                            chip=chip, block=block, page=page)
+
+        block = next(blocks)
+        page = 0
+        yield from port.erase_block(scratch_addr(block, 0))
+        while sim.now < deadline:
+            victim = geometry.striped(rng.randrange(addr_space),
+                                      node=tenant.node)
+            result = yield from port.read_page(victim)
+            if page == geometry.pages_per_block:
+                block = next(blocks)
+                page = 0
+                yield from port.erase_block(scratch_addr(block, 0))
+            yield from port.write_page(scratch_addr(block, page),
+                                       result.data)
+            page += 1
             counters[tenant.name] += 1
 
     def _issuer(self, tenant: TenantSpec) -> Callable:
@@ -163,8 +250,24 @@ class Session:
             "total_bandwidth_gbs": (total * page / window if window
                                     else 0.0),
             "window_ns": window,
+            "splitter_bandwidth": self._splitter_bandwidth(window),
         })
         return result
+
+    def _splitter_bandwidth(self, window: int) -> dict:
+        """Per-node, per-tenant bytes serviced at each splitter.
+
+        The admission-stage bandwidth accounting: total bytes, busiest
+        single accounting window, and rate over the run — keyed by the
+        scheduling tenant labels (relabeled to spec tenant names where
+        the mapping is one-to-one, mirroring ``tenant_stats``).
+        """
+        out: dict = {}
+        for node in self.nodes:
+            summary = node.splitter.bandwidth.summary(window)
+            if summary:
+                out[node.node_id] = self._relabel_tenant_stats(summary)
+        return out
 
     def _relabel_tenant_stats(self, stats: dict) -> dict:
         """Key tracer tenant stats by spec tenant names where possible.
@@ -178,13 +281,9 @@ class Session:
         one node) keep the port label, since their latencies are
         physically merged at that port.
         """
-        label_of = {"isp": "isp", "host": "host", "net": "net"}
         owners: dict = {}
         for tenant in self.spec.workload.tenants:
-            label = (f"isp-n{tenant.node}"
-                     if tenant.access == "remote_isp"
-                     else label_of[tenant.access])
-            owners.setdefault(label, []).append(tenant.name)
+            owners.setdefault(tenant.sched_label(), []).append(tenant.name)
         relabeled = {
             (owners[label][0]
              if len(owners.get(label, ())) == 1 else label): summary

@@ -191,9 +191,11 @@ class TopologySpec:
 # ----------------------------------------------------------------------
 # workload
 # ----------------------------------------------------------------------
-#: The splitter's fixed ports a tenant can drive locally, plus the
-#: cluster-level remote path (ISP-F over the integrated network).
-_ACCESS_KINDS = ("isp", "host", "net", "remote_isp")
+#: The splitter's fixed ports a tenant can drive locally, the
+#: cluster-level remote path (ISP-F over the integrated network), and
+#: ``gc`` — background GC/wear-leveling traffic injected at the
+#: splitter through a dedicated low-priority port.
+_ACCESS_KINDS = ("isp", "host", "net", "remote_isp", "gc")
 #: Splitter port names that accept per-tenant QoS parameters.
 _QOS_PORTS = ("isp", "host", "net")
 _RNG_MODES = ("per_worker", "shared")
@@ -215,12 +217,22 @@ class TenantSpec:
 
     ``priority`` / ``deadline_ns`` / ``max_in_flight`` program the
     splitter port's QoS parameters, interpreted by the scenario's
-    ``splitter_policy`` (a :data:`repro.io.POLICIES` discipline);
-    ``weight`` is reserved for weighted-fair-share policies.
+    ``splitter_policy`` (a :data:`repro.io.POLICIES` discipline).
+    ``weight`` feeds weighted-fair-share admission (``wfq``);
+    ``rate_mbps`` / ``burst_kb`` feed token-bucket rate limiting
+    (``token-bucket``) — a rate without a burst defaults to a 64 KiB
+    burst.  Policies that don't use a parameter ignore it, so one
+    tenant mix runs unchanged under every discipline.
+
+    ``background=True`` (equivalently ``access="gc"``) marks the tenant
+    as *internal* background traffic — GC/wear-leveling — injected at
+    its node's splitter through a dedicated port named after the
+    tenant: each worker loops reading victim pages and relocating them
+    into a private scratch block, erasing scratch blocks as they cycle.
     """
 
     name: str
-    access: str = "host"
+    access: Optional[str] = None  # resolved to "host"/"gc" on build
     workers: int = 1
     node: int = 0
     target: Optional[int] = None
@@ -232,8 +244,33 @@ class TenantSpec:
     priority: Optional[int] = None
     deadline_ns: Optional[int] = None
     weight: float = 1.0
+    rate_mbps: Optional[float] = None
+    burst_kb: Optional[float] = None
+    background: bool = False
 
     def __post_init__(self):
+        # ``background`` and ``access="gc"`` are two spellings of the
+        # same thing; setting either implies the other, and a background
+        # tenant cannot simultaneously claim a foreground access path
+        # (an *explicitly* chosen one — the unset default follows
+        # ``background``).
+        if self.access is None:
+            object.__setattr__(self, "access",
+                               "gc" if self.background else "host")
+        if self.access == "gc":
+            object.__setattr__(self, "background", True)
+        if self.background and self.access != "gc":
+            raise SpecError(
+                f"tenant {self.name!r}: background tenants are injected "
+                f"at the splitter (access='gc'); access={self.access!r} "
+                f"conflicts")
+        if self.background and self.name in _QOS_PORTS:
+            # The background port is labeled by the tenant's name; a
+            # fixed-port name would merge its scheduling/accounting
+            # with unrelated foreground traffic on that port.
+            raise SpecError(
+                f"background tenant cannot take a fixed splitter port "
+                f"name {_QOS_PORTS}; got {self.name!r}")
         if not self.name:
             raise SpecError("tenant needs a non-empty name")
         if self.access not in _ACCESS_KINDS:
@@ -259,24 +296,65 @@ class TenantSpec:
         if self.weight <= 0:
             raise SpecError(f"tenant {self.name!r}: weight must be > 0, "
                             f"got {self.weight}")
+        if self.rate_mbps is not None and self.rate_mbps <= 0:
+            raise SpecError(f"tenant {self.name!r}: rate_mbps must be "
+                            f"> 0, got {self.rate_mbps}")
+        if self.burst_kb is not None:
+            if self.burst_kb <= 0:
+                raise SpecError(f"tenant {self.name!r}: burst_kb must be "
+                                f"> 0, got {self.burst_kb}")
+            if self.rate_mbps is None:
+                raise SpecError(
+                    f"tenant {self.name!r}: burst_kb without rate_mbps "
+                    f"has no meaning (a burst caps a rate)")
+        elif self.rate_mbps is not None:
+            object.__setattr__(self, "burst_kb", 64.0)
         if self.access == "remote_isp" and self.target is None:
             raise SpecError(f"tenant {self.name!r}: remote_isp access "
                             f"needs a target node")
-        if self.has_qos and (self.name not in _QOS_PORTS
-                             or self.access != self.name):
+        if self.has_qos and not self.background and (
+                self.name not in _QOS_PORTS or self.access != self.name):
             # QoS parameters program the splitter port the tenant's own
             # traffic uses; a name/access mismatch would silently boost
-            # an unrelated port.
+            # an unrelated port.  Background tenants are exempt: they
+            # get a dedicated port named after them.
             raise SpecError(
                 f"tenant {self.name!r} sets splitter QoS parameters, so "
                 f"it must be named after — and access — one of the "
                 f"splitter ports {_QOS_PORTS} (access={self.access!r})")
+        if self.has_policy_qos and self.access in _QOS_PORTS and (
+                self.name not in _QOS_PORTS or self.access != self.name):
+            # weight/rate/burst are keyed by the admission-stage tenant
+            # label, which for local port traffic is the port name.
+            raise SpecError(
+                f"tenant {self.name!r} sets weight/rate QoS on a local "
+                f"port, so it must be named after — and access — one of "
+                f"the splitter ports {_QOS_PORTS} "
+                f"(access={self.access!r})")
 
     @property
     def has_qos(self) -> bool:
         return (self.max_in_flight is not None
                 or self.priority is not None
                 or self.deadline_ns is not None)
+
+    @property
+    def has_policy_qos(self) -> bool:
+        """True when the tenant programs admission-policy parameters."""
+        return self.weight != 1.0 or self.rate_mbps is not None
+
+    def sched_label(self) -> str:
+        """The tenant label this traffic is scheduled/accounted under.
+
+        Local port traffic is labeled by the port (``isp``/``host``/
+        ``net``); remote ISP-F reads carry ``isp-n<source>`` end to end;
+        background tenants own a port named after themselves.
+        """
+        if self.access == "remote_isp":
+            return f"isp-n{self.node}"
+        if self.background:
+            return self.name
+        return self.access
 
     def qos_kwargs(self) -> Dict[str, Any]:
         """The ``FlashSplitter.add_port`` keyword overrides this tenant
@@ -371,6 +449,7 @@ class ScenarioSpec:
     accelerator_units: int = 8
     splitter_policy: Optional[str] = None
     splitter_in_flight: Optional[int] = None
+    bandwidth_window_ns: int = 1_000_000
     trace: bool = True
     workload: Optional[WorkloadSpec] = None
 
@@ -413,7 +492,10 @@ class ScenarioSpec:
         if self.splitter_in_flight is not None \
                 and self.splitter_in_flight < 1:
             raise SpecError("splitter_in_flight must be >= 1")
+        if self.bandwidth_window_ns < 1:
+            raise SpecError("bandwidth_window_ns must be >= 1")
         if self.workload is not None:
+            policy_labels: Dict[str, str] = {}
             for tenant in self.workload.tenants:
                 if tenant.node >= self.n_nodes:
                     raise SpecError(
@@ -429,14 +511,53 @@ class ScenarioSpec:
                     raise SpecError(
                         f"tenant {tenant.name!r} needs remote nodes "
                         f"for remote_isp access")
+                if (tenant.has_policy_qos
+                        and tenant.access == "remote_isp"
+                        and not self.trace):
+                    # A remote tenant's scheduling identity rides on
+                    # the traced request; without tracing it collapses
+                    # into the shared 'net' port label and the
+                    # configured weight/rate silently never applies.
+                    raise SpecError(
+                        f"tenant {tenant.name!r} programs weight/rate "
+                        f"QoS on a remote path, which requires "
+                        f"trace=True")
+                if tenant.has_policy_qos:
+                    label = tenant.sched_label()
+                    other = policy_labels.get(label)
+                    if other is not None:
+                        # Two tenants sharing one admission label would
+                        # silently overwrite each other's weight/rate.
+                        raise SpecError(
+                            f"tenants {other!r} and {tenant.name!r} both "
+                            f"program weight/rate QoS under the "
+                            f"admission label {label!r}")
+                    policy_labels[label] = tenant.name
+            # Each background (GC) worker claims a private scratch chip.
+            gc_workers = sum(t.workers for t in self.workload.tenants
+                             if t.background)
+            n_units = (self.geometry.cards_per_node
+                       * self.geometry.buses_per_card
+                       * self.geometry.chips_per_bus)
+            if gc_workers > n_units:
+                raise SpecError(
+                    f"{gc_workers} background GC workers need "
+                    f"{gc_workers} private scratch chips but the "
+                    f"geometry has {n_units}")
 
     # -- derived ---------------------------------------------------------
     def port_qos(self) -> Dict[str, Dict[str, Any]]:
-        """Per-port splitter QoS overrides gathered from the tenants."""
+        """Per-port splitter QoS overrides gathered from the tenants.
+
+        Background tenants are excluded — their QoS parameters program
+        the dedicated port the session creates for them, not one of the
+        node's three fixed ports.
+        """
         if self.workload is None:
             return {}
         return {t.name: t.qos_kwargs()
-                for t in self.workload.tenants if t.has_qos}
+                for t in self.workload.tenants
+                if t.has_qos and not t.background}
 
     # -- serialization ---------------------------------------------------
     def to_dict(self) -> dict:
@@ -456,6 +577,7 @@ class ScenarioSpec:
             "accelerator_units": self.accelerator_units,
             "splitter_policy": self.splitter_policy,
             "splitter_in_flight": self.splitter_in_flight,
+            "bandwidth_window_ns": self.bandwidth_window_ns,
             "trace": self.trace,
             "workload": (None if self.workload is None
                          else self.workload.to_dict()),

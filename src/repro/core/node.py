@@ -69,7 +69,8 @@ class BlueDBMNode:
                  splitter_in_flight: Optional[int] = None,
                  scheduler_policy=None,
                  tracer: Optional[RequestTracer] = None,
-                 port_qos: Optional[dict] = None):
+                 port_qos: Optional[dict] = None,
+                 bandwidth_window_ns: int = 1_000_000):
         self.sim = sim
         self.node_id = node_id
         self.geometry = geometry
@@ -84,7 +85,8 @@ class BlueDBMNode:
         self.splitter = FlashSplitter(sim, self.device,
                                       policy=splitter_policy,
                                       total_in_flight=splitter_in_flight,
-                                      tracer=tracer)
+                                      tracer=tracer,
+                                      bandwidth_window_ns=bandwidth_window_ns)
         # Port 0: local in-store processors; port 1: host software;
         # port 2: remote requests arriving over the storage network.
         # ``port_qos`` maps tenant name -> add_port kwargs (priority,

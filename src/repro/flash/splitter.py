@@ -18,9 +18,22 @@ priority, and deadline; slot waits are charged to the request's
   the seed behavior);
 * optionally, a shared *admission* stage arbitrates across ports with
   any :class:`~repro.io.scheduler.SchedulerPolicy` (round-robin fair
-  share, strict priority, earliest deadline), bounding total in-flight
-  commands below the card's physical tag pool so the policy — not the
-  FIFO tag queue — decides who runs under contention.
+  share, weighted fair share, token-bucket rate limiting, strict
+  priority, earliest deadline), bounding total in-flight commands below
+  the card's physical tag pool so the policy — not the FIFO tag queue —
+  decides who runs under contention.
+
+Admission accounting is per-tenant **bandwidth**, not just slot
+counts: every admission request carries its payload size as the
+scheduling *cost* (weighted fair share charges ``bytes / weight`` of
+virtual time; token buckets drain ``bytes`` of tokens), and every
+serviced operation lands in the splitter's
+:class:`~repro.sim.stats.BandwidthLedger` — per-tenant bytes per
+window, the number rate caps and fair-share ratios are asserted
+against.  The scheduling identity comes from the *request* when one is
+attached (so remote tenants arriving through the shared network port
+are scheduled and accounted individually), falling back to the port's
+configured tenant.
 """
 
 from __future__ import annotations
@@ -28,7 +41,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from ..io import IOKind, IORequest, RequestTracer, ScheduledResource, StageSpan
-from ..sim import Counter, Simulator
+from ..sim import BandwidthLedger, Counter, Simulator
 from .controller import FlashCard, ReadResult
 from .geometry import PhysAddr
 
@@ -103,16 +116,31 @@ class SplitterPort:
                             priority=self.priority,
                             deadline_ns=deadline), True
 
-    def _admit(self, request: Optional[IORequest]):
+    def sched_tenant(self, request: Optional[IORequest]) -> str:
+        """The tenant label scheduling and accounting run under.
+
+        The request's own tenant wins when one is attached — remote
+        tenants funneled through the shared network-service port keep
+        their identity at the admission stage — falling back to the
+        port's configured tenant.
+        """
+        if request is not None and request.tenant:
+            return request.tenant
+        return self.tenant
+
+    def _admit(self, request: Optional[IORequest], cost: int):
         """Acquire the port slot, then the shared admission slot (if any).
 
         Both waits are charged to the request's ``queue`` stage.  The
-        priority/deadline forwarded to the scheduling policies come from
-        the request when it specifies them (end-to-end QoS), falling
-        back to the port's configured identity — so a request created
-        merely for tracing never demotes a port's QoS.
+        tenant/priority/deadline forwarded to the scheduling policies
+        come from the request when it specifies them (end-to-end QoS),
+        falling back to the port's configured identity — so a request
+        created merely for tracing never demotes a port's QoS.
+        ``cost`` is the operation's payload bytes: what weighted fair
+        share and token buckets charge instead of a flat slot count.
         """
         sim = self.splitter.sim
+        tenant = self.sched_tenant(request)
         priority = self.priority
         if request is not None and request.priority is not None:
             priority = request.priority
@@ -122,14 +150,15 @@ class SplitterPort:
         elif self.deadline_ns is not None:
             deadline = sim.now + self.deadline_ns
         with StageSpan(sim, request, "queue"):
-            yield self._slots.request(tenant=self.tenant, priority=priority,
-                                      deadline_ns=deadline)
+            yield self._slots.request(tenant=tenant, priority=priority,
+                                      deadline_ns=deadline, cost=cost)
             admission = self.splitter.admission
             if admission is not None:
                 try:
-                    yield admission.request(tenant=self.tenant,
+                    yield admission.request(tenant=tenant,
                                             priority=priority,
-                                            deadline_ns=deadline)
+                                            deadline_ns=deadline,
+                                            cost=cost)
                 except BaseException:
                     self._slots.release()
                     raise
@@ -143,16 +172,17 @@ class SplitterPort:
     def read_page(self, addr: PhysAddr, request: Optional[IORequest] = None):
         """Read via the shared card; returns :class:`ReadResult` whose tag
         is this user's renamed tag, not the card's physical tag."""
-        request, owned = self._start(IOKind.READ, addr,
-                                     self.splitter.page_size, request)
+        size = self.splitter.page_size
+        request, owned = self._start(IOKind.READ, addr, size, request)
         user_tag = self._rename()
-        yield from self._admit(request)
+        yield from self._admit(request, cost=size)
         try:
             result = yield self.splitter.sim.process(
                 self.splitter.card.read_page(addr, request=request))
         finally:
             self._retire()
         self.reads.add()
+        self.splitter.bandwidth.record(self.sched_tenant(request), size)
         if owned:
             self.splitter.tracer.complete(request)
         return ReadResult(result.addr, result.data, user_tag,
@@ -162,26 +192,32 @@ class SplitterPort:
                    request: Optional[IORequest] = None):
         request, owned = self._start(IOKind.WRITE, addr, len(data), request)
         self._rename()
-        yield from self._admit(request)
+        yield from self._admit(request, cost=len(data))
         try:
             yield self.splitter.sim.process(
                 self.splitter.card.write_page(addr, data, request=request))
         finally:
             self._retire()
         self.writes.add()
+        self.splitter.bandwidth.record(self.sched_tenant(request), len(data))
         if owned:
             self.splitter.tracer.complete(request)
 
     def erase_block(self, addr: PhysAddr,
                     request: Optional[IORequest] = None):
+        # An erase moves no payload but occupies the card far longer
+        # than a page op; it is scheduled at one page of cost so a
+        # tenant cannot spam cost-free erases past a fair-share policy,
+        # while the bandwidth ledger records its true zero bytes.
         request, owned = self._start(IOKind.ERASE, addr, 0, request)
         self._rename()
-        yield from self._admit(request)
+        yield from self._admit(request, cost=self.splitter.page_size)
         try:
             yield self.splitter.sim.process(
                 self.splitter.card.erase_block(addr, request=request))
         finally:
             self._retire()
+        self.splitter.bandwidth.record(self.sched_tenant(request), 0)
         if owned:
             self.splitter.tracer.complete(request)
 
@@ -202,23 +238,54 @@ class FlashSplitter:
     outstanding across *all* ports, and when a slot frees the policy
     picks the next tenant.  ``tracer`` attaches end-to-end request
     tracing to every operation issued through any port.
+
+    Every serviced operation is charged to its scheduling tenant in
+    the :attr:`bandwidth` ledger (bytes per ``bandwidth_window_ns``
+    window); :meth:`configure_tenant` programs per-tenant weighted-fair
+    weights and token-bucket rates into the admission policy.
     """
 
     def __init__(self, sim: Simulator, card,
                  fair_share: Optional[int] = None,
                  policy=None, total_in_flight: Optional[int] = None,
-                 tracer: Optional[RequestTracer] = None):
+                 tracer: Optional[RequestTracer] = None,
+                 bandwidth_window_ns: int = 1_000_000):
         self.sim = sim
         self.card = card  # the flash target (card or device)
         self.fair_share = fair_share
         self.tracer = tracer
         self.ports: List[SplitterPort] = []
+        self.bandwidth = BandwidthLedger(sim, window_ns=bandwidth_window_ns,
+                                         name="splitter-bandwidth")
+        #: tenant -> the raw QoS parameters programmed via
+        #: :meth:`configure_tenant` (for reporting).
+        self.tenant_qos: dict = {}
         self.admission: Optional[ScheduledResource] = None
         if policy is not None:
             capacity = total_in_flight or self.tag_count
             self.admission = ScheduledResource(
                 sim, capacity=capacity, policy=policy,
                 name="splitter-admission")
+
+    def configure_tenant(self, tenant: str, weight: Optional[float] = None,
+                         rate_mbps: Optional[float] = None,
+                         burst_kb: Optional[float] = None) -> None:
+        """Program one tenant's QoS parameters into the admission policy.
+
+        ``weight`` feeds weighted fair share; ``rate_mbps`` (MB/s) and
+        ``burst_kb`` (KiB) feed token-bucket rate limiting.  Policies
+        that don't use a parameter ignore it, so the same configuration
+        works under every discipline.  No-op (but still recorded) when
+        no shared admission stage is enabled.
+        """
+        self.tenant_qos[tenant] = {
+            "weight": weight, "rate_mbps": rate_mbps, "burst_kb": burst_kb}
+        if self.admission is not None:
+            rate = None if rate_mbps is None else rate_mbps * 1e6 / 1e9
+            burst = None if burst_kb is None else burst_kb * 1024
+            self.admission.configure_tenant(
+                tenant, weight=weight, rate_bytes_per_ns=rate,
+                burst_bytes=burst)
 
     @property
     def tag_count(self) -> int:

@@ -18,9 +18,10 @@ kept private bookkeeping; now they all speak :class:`IORequest`:
   Figure 12's software/storage/transfer/network taxonomy) and keeps
   per-tenant and per-stage percentile histograms.
 * :class:`~repro.io.scheduler.SchedulerPolicy` — pluggable queueing
-  disciplines (FIFO, round-robin fair share, strict priority, earliest
-  deadline) and :class:`~repro.io.scheduler.ScheduledResource`, a
-  counted resource whose grant order is decided by a policy.
+  disciplines (FIFO, round-robin fair share, weighted fair share,
+  token-bucket rate limiting, strict priority, earliest deadline) and
+  :class:`~repro.io.scheduler.ScheduledResource`, a counted resource
+  whose grant order is decided by a policy.
 """
 
 from .request import IOKind, IORequest
@@ -33,6 +34,8 @@ from .scheduler import (
     ScheduledResource,
     SchedulerPolicy,
     StrictPriorityPolicy,
+    TokenBucketPolicy,
+    WeightedFairPolicy,
     bind_policy,
     make_policy,
 )
@@ -50,6 +53,8 @@ __all__ = [
     "QueueEntry",
     "FIFOPolicy",
     "RoundRobinPolicy",
+    "WeightedFairPolicy",
+    "TokenBucketPolicy",
     "StrictPriorityPolicy",
     "EarliestDeadlinePolicy",
     "ScheduledResource",

@@ -137,6 +137,7 @@ class RequestTracer:
             out[tenant] = {
                 "completed": float(completed),
                 "iops": completed / (window / 1e9) if window else 0.0,
+                "bytes": float(moved),
                 "gbytes_per_sec": moved / window if window else 0.0,
                 "mean_ns": stats.mean,
                 "p50_ns": stats.percentile(50),

@@ -64,6 +64,10 @@ class Endpoint:
         self._partial: Dict[Tuple[int, int], int] = {}
         self.sent = Counter("sent")
         self.received = Counter("received")
+        # Payload-byte counters: what end-to-end bandwidth accounting
+        # (e.g. remote-tenant QoS) reconciles against.
+        self.sent_bytes = Counter("sent-bytes")
+        self.received_bytes = Counter("received-bytes")
 
     # -- send ---------------------------------------------------------------
     def send(self, dst: int, payload: Any, payload_bytes: int):
@@ -93,6 +97,7 @@ class Endpoint:
                 yield remote._e2e_credits.take(1)
             yield self.sim.process(self.switch.inject(packet))
         self.sent.add()
+        self.sent_bytes.add(payload_bytes)
 
     # -- receive --------------------------------------------------------------
     def receive(self):
@@ -115,6 +120,7 @@ class Endpoint:
                 continue
             self._partial.pop(key, None)
             self.received.add()
+            self.received_bytes.add(accumulated)
             return Message(packet.src, packet.payload, accumulated)
 
     def _return_credit(self, src: int):

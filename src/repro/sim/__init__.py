@@ -23,6 +23,7 @@ from .core import (
 )
 from .resources import CreditPool, Gate, Resource, Store
 from .stats import (
+    BandwidthLedger,
     BandwidthMeter,
     Counter,
     LatencyHistogram,
@@ -49,6 +50,7 @@ __all__ = [
     "LatencyStats",
     "LatencyHistogram",
     "BandwidthMeter",
+    "BandwidthLedger",
     "UtilizationTracker",
     "Tracer",
     "TraceRecord",

@@ -7,13 +7,13 @@ deliberately simple so a reader can audit what each reported number means.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from .core import Simulator
 from .units import bandwidth_gbps, bandwidth_gbytes
 
 __all__ = ["Counter", "LatencyStats", "LatencyHistogram", "BandwidthMeter",
-           "UtilizationTracker"]
+           "BandwidthLedger", "UtilizationTracker"]
 
 
 class Counter:
@@ -238,6 +238,75 @@ class BandwidthMeter:
         """Observed Gbps over the measured (or supplied) window."""
         window = self.elapsed_ns if elapsed_ns is None else elapsed_ns
         return bandwidth_gbps(self.total_bytes, window)
+
+
+class BandwidthLedger:
+    """Per-tenant bytes serviced, bucketed into fixed simulated-time windows.
+
+    :class:`BandwidthMeter` tracks one stream's total; QoS accounting
+    needs *per-tenant* byte counts **per window** so rate caps can be
+    checked window by window ("never exceeds rate x window + one
+    burst") and fairness can be measured over exactly the contended
+    interval.  Windows are aligned to multiples of ``window_ns`` from
+    time zero; iteration order of tenants is first-seen order, which is
+    deterministic for a deterministic simulation — byte-identical
+    results across repeat runs.
+    """
+
+    def __init__(self, sim: Simulator, window_ns: int = 1_000_000,
+                 name: str = ""):
+        if window_ns < 1:
+            raise ValueError(f"window_ns must be >= 1, got {window_ns}")
+        self.sim = sim
+        self.window_ns = window_ns
+        self.name = name
+        self.totals: Dict[str, int] = {}
+        #: window index (now // window_ns) -> tenant -> bytes.
+        self._windows: Dict[int, Dict[str, int]] = {}
+
+    def record(self, tenant: str, num_bytes: int) -> None:
+        """Charge ``num_bytes`` to ``tenant`` at the current sim time."""
+        if num_bytes < 0:
+            raise ValueError(f"negative byte count {num_bytes}")
+        self.totals[tenant] = self.totals.get(tenant, 0) + num_bytes
+        window = self._windows.setdefault(self.sim.now // self.window_ns, {})
+        window[tenant] = window.get(tenant, 0) + num_bytes
+
+    def tenants(self) -> List[str]:
+        return list(self.totals)
+
+    def total_bytes(self, tenant: str) -> int:
+        return self.totals.get(tenant, 0)
+
+    def window_series(self, tenant: str) -> List[Tuple[int, int]]:
+        """(window start ns, bytes) pairs for ``tenant``, time-ordered."""
+        return [(index * self.window_ns, counts[tenant])
+                for index, counts in sorted(self._windows.items())
+                if tenant in counts]
+
+    def peak_window_bytes(self, tenant: str) -> int:
+        """The busiest single window's byte count for ``tenant``."""
+        return max((counts.get(tenant, 0)
+                    for counts in self._windows.values()), default=0)
+
+    def gbytes_per_sec(self, tenant: str,
+                       elapsed_ns: Optional[int] = None) -> float:
+        """Tenant bandwidth over the run (or the supplied window)."""
+        window = self.sim.now if elapsed_ns is None else elapsed_ns
+        return bandwidth_gbytes(self.totals.get(tenant, 0), window)
+
+    def summary(self, elapsed_ns: Optional[int] = None
+                ) -> Dict[str, Dict[str, float]]:
+        """Per-tenant totals/peak-window/rate, JSON-ready."""
+        return {tenant: {
+            "bytes": float(total),
+            "peak_window_bytes": float(self.peak_window_bytes(tenant)),
+            "gbytes_per_sec": self.gbytes_per_sec(tenant, elapsed_ns),
+        } for tenant, total in self.totals.items()}
+
+    def __repr__(self) -> str:
+        return (f"BandwidthLedger({self.name!r}, tenants={len(self.totals)}, "
+                f"window={self.window_ns}ns)")
 
 
 class UtilizationTracker:

@@ -55,19 +55,28 @@ tenant_names = st.sampled_from(["isp", "host", "net"])
 
 @st.composite
 def _tenants(draw):
-    # QoS parameters are only legal on a tenant named after — and
-    # accessing — its splitter port, so couple name/access/QoS here.
+    # QoS parameters (port-level *and* admission weight/rate) are only
+    # legal on a tenant named after — and accessing — its splitter
+    # port, so couple name/access/QoS here.
     name = draw(tenant_names)
     with_qos = draw(st.booleans())
     access = name if with_qos else draw(
         st.sampled_from(["isp", "host", "net"]))
     qos = {}
     if with_qos:
+        rate = draw(st.one_of(st.none(), st.floats(1.0, 2000.0,
+                                                   allow_nan=False)))
         qos = dict(
             max_in_flight=draw(st.one_of(st.none(), st.integers(1, 64))),
             priority=draw(st.one_of(st.none(), st.integers(0, 3))),
             deadline_ns=draw(st.one_of(st.none(),
                                        st.integers(1, 10_000_000))),
+            weight=draw(st.floats(0.1, 10.0, allow_nan=False)),
+            rate_mbps=rate,
+            burst_kb=(None if rate is None else
+                      draw(st.one_of(st.none(),
+                                     st.floats(1.0, 1024.0,
+                                               allow_nan=False)))),
         )
     return TenantSpec(
         name=name, access=access,
@@ -76,7 +85,6 @@ def _tenants(draw):
         software_path=draw(st.booleans()),
         rng=draw(st.sampled_from(["per_worker", "shared"])),
         seed_base=draw(st.integers(0, 1000)),
-        weight=draw(st.floats(0.1, 10.0, allow_nan=False)),
         **qos)
 
 
@@ -202,6 +210,67 @@ def test_qos_name_access_mismatch_rejected():
     # priority would program the isp port while traffic used host.
     with pytest.raises(SpecError):
         TenantSpec("isp", access="host", priority=3)
+
+
+def test_background_and_gc_access_are_equivalent():
+    by_flag = TenantSpec("gc", background=True)
+    by_access = TenantSpec("gc", access="gc")
+    assert by_flag.access == "gc" and by_flag.background
+    assert by_access.background
+    assert TenantSpec("plain").access == "host"
+
+
+def test_background_with_explicit_foreground_access_rejected():
+    for access in ("isp", "host", "net", "remote_isp"):
+        with pytest.raises(SpecError):
+            TenantSpec("gc", access=access, background=True)
+
+
+def test_background_tenant_cannot_shadow_a_fixed_port_name():
+    # The gc port label is the tenant's name; 'isp'/'host'/'net' would
+    # merge with the fixed port's scheduling and accounting.
+    for name in ("isp", "host", "net"):
+        with pytest.raises(SpecError):
+            TenantSpec(name, background=True)
+
+
+def test_remote_policy_qos_requires_tracing():
+    tenants = (TenantSpec("r1", access="remote_isp", node=1, target=0,
+                          weight=2.0),)
+    with pytest.raises(SpecError):
+        ScenarioSpec(n_nodes=2, trace=False, workload=WorkloadSpec(
+            duration_ns=1000, tenants=tenants))
+    # With tracing (the default) the same mix is fine.
+    ScenarioSpec(n_nodes=2, workload=WorkloadSpec(
+        duration_ns=1000, tenants=tenants))
+
+
+def test_rate_without_burst_gets_default_burst():
+    tenant = TenantSpec("net", access="net", rate_mbps=100.0)
+    assert tenant.burst_kb == 64.0
+    with pytest.raises(SpecError):
+        TenantSpec("net", access="net", burst_kb=64.0)  # burst alone
+
+
+def test_policy_qos_label_conflict_rejected():
+    with pytest.raises(SpecError):
+        ScenarioSpec(n_nodes=3, workload=WorkloadSpec(
+            duration_ns=1000, tenants=(
+                TenantSpec("a", access="remote_isp", node=1, target=0,
+                           weight=2.0),
+                TenantSpec("b", access="remote_isp", node=1, target=0,
+                           weight=3.0),)))
+
+
+def test_gc_workers_capped_by_geometry_at_construction():
+    geo = ScenarioSpec().geometry
+    n_units = (geo.cards_per_node * geo.buses_per_card
+               * geo.chips_per_bus)
+    with pytest.raises(SpecError):
+        ScenarioSpec(workload=WorkloadSpec(
+            duration_ns=1000, tenants=(
+                TenantSpec("gc", background=True,
+                           workers=n_units + 1),)))
 
 
 def test_sized_topology_must_cover_the_cluster():

@@ -1,0 +1,60 @@
+"""Determinism regression: one spec, two runs, identical JSON.
+
+The windowed bandwidth accounting, the token-bucket refill math and
+the per-tenant relabeling all aggregate into dicts; if any of them
+ever iterated in address order (sets, id-keyed maps) instead of
+deterministic insertion order, repeat runs would produce differently
+ordered — or differently valued — results.  These tests pin the
+contract the perf-snapshot CI artifacts rely on: running the *same*
+:class:`~repro.api.ScenarioSpec` twice yields byte-identical
+``RunResult.to_json()`` for the qos family and the Figure 13
+bandwidth scenarios.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.qos import qos_scenario
+from repro.api import BENCH_GEOMETRY, Session
+from repro.experiments.fig13 import isp_multi_spec
+from repro.experiments.qos import qos_cluster_scenario, qos_gc_scenario
+
+
+def _shorten(spec, duration_ns):
+    return dataclasses.replace(
+        spec, workload=dataclasses.replace(spec.workload,
+                                           duration_ns=duration_ns))
+
+
+def _run_twice(spec):
+    first = Session(spec).run().to_json()
+    second = Session(spec).run().to_json()
+    return first, second
+
+
+@pytest.mark.parametrize("policy", ["fifo", "wfq", "token-bucket"])
+def test_qos_scenario_is_deterministic(policy):
+    spec = qos_scenario(policy, BENCH_GEOMETRY, 2_000_000)
+    first, second = _run_twice(spec)
+    assert first == second
+
+
+def test_qos_cluster_scenario_is_deterministic():
+    spec = qos_cluster_scenario("wfq", duration_ns=1_500_000)
+    first, second = _run_twice(spec)
+    assert first == second
+
+
+def test_qos_gc_scenario_is_deterministic():
+    spec = qos_gc_scenario("token-bucket", duration_ns=2_000_000)
+    first, second = _run_twice(spec)
+    assert first == second
+
+
+def test_fig13_scenario_is_deterministic():
+    # The heaviest Figure 13 machine: 3 nodes, remote ISP-F tenants,
+    # parallel lanes — shortened so tier-1 stays fast.
+    spec = _shorten(isp_multi_spec(2, 2), 400_000)
+    first, second = _run_twice(spec)
+    assert first == second

@@ -1,0 +1,86 @@
+"""End-to-end GC-as-a-tenant tests: background traffic vs victim p99.
+
+Session-level tests of the ``qos_gc`` scenario family (scaled down for
+tier-1 speed): GC/wear-leveling runs as a ``background=True`` tenant —
+a dedicated low-priority splitter port whose workers loop
+read-victim/relocate/erase through private scratch blocks — while a
+foreground ISP tenant reads a hot set.  FIFO lets the GC backlog
+dictate the victim's p99; wfq and token-bucket hold it near baseline.
+"""
+
+import pytest
+
+from repro.api import Session
+from repro.experiments.qos import (
+    GC_BURST_KB,
+    GC_RATE_MBPS,
+    qos_gc_scenario,
+)
+
+DURATION_NS = 8_000_000
+
+
+@pytest.fixture(scope="module")
+def runs():
+    """Baseline (no GC) + fifo/wfq/token-bucket runs, shared."""
+    out = {"baseline": Session(qos_gc_scenario(
+        "fifo", with_gc=False, duration_ns=DURATION_NS)).run()}
+    for policy in ("fifo", "wfq", "token-bucket"):
+        out[policy] = Session(qos_gc_scenario(
+            policy, duration_ns=DURATION_NS)).run()
+    return out
+
+
+def test_gc_degrades_victim_p99_under_fifo(runs):
+    baseline = runs["baseline"].tenant_stats["isp"]
+    fifo = runs["fifo"].tenant_stats["isp"]
+    assert fifo["p99_ns"] > 3 * baseline["p99_ns"], (
+        f"GC should wreck the FIFO victim: p99 {fifo['p99_ns']:.0f} vs "
+        f"baseline {baseline['p99_ns']:.0f}")
+    assert fifo["completed"] < 0.5 * baseline["completed"]
+    assert fifo["deadline_misses"] > 0
+
+
+@pytest.mark.parametrize("policy", ["wfq", "token-bucket"])
+def test_victim_p99_bounded_under_wfq_and_token_bucket(runs, policy):
+    baseline = runs["baseline"].tenant_stats["isp"]
+    fifo = runs["fifo"].tenant_stats["isp"]
+    victim = runs[policy].tenant_stats["isp"]
+    assert victim["p99_ns"] < 0.5 * fifo["p99_ns"], (
+        f"{policy} does not bound the victim: {victim['p99_ns']:.0f} "
+        f"vs fifo {fifo['p99_ns']:.0f}")
+    assert victim["p99_ns"] < 3 * baseline["p99_ns"]
+    # GC still runs in the background — shaped, not starved.
+    assert runs[policy].tenant_stats["gc"]["completed"] > 0
+
+
+def test_gc_honors_its_token_bucket_cap(runs):
+    result = runs["token-bucket"]
+    gc_bytes = result.metrics["splitter_bandwidth"][0]["gc"]["bytes"]
+    cap = (GC_RATE_MBPS * 1e6 / 1e9 * result.elapsed_ns
+           + GC_BURST_KB * 1024)
+    assert 0 < gc_bytes <= cap
+
+
+def test_gc_tenant_accounting_includes_reads_and_writes(runs):
+    """GC bandwidth counts both directions of a relocation.
+
+    Each completed GC iteration reads one victim page and programs one
+    scratch page, so the splitter must have charged gc at least
+    2 x completions x page (erases add zero bytes but are serviced
+    too — the read/write counters see them all).
+    """
+    result = runs["wfq"]
+    completed = result.metrics["completions"]["gc"]
+    gc_bytes = result.metrics["splitter_bandwidth"][0]["gc"]["bytes"]
+    assert completed > 0
+    assert gc_bytes >= 2 * completed * 8192
+
+
+def test_gc_port_is_separate_from_fixed_ports(runs):
+    """The background tenant got its own splitter port (index 3+)."""
+    session = Session(qos_gc_scenario("fifo", duration_ns=100_000))
+    ports = session.node.splitter.ports
+    assert [p.tenant for p in ports[:3]] == ["isp", "host", "net"]
+    assert ports[3].tenant == "gc"
+    assert ports[3].priority == 0
