@@ -1,0 +1,56 @@
+"""Splitter-admission coalescing: sequential merges, random doesn't.
+
+Spec + assertions only: :func:`repro.experiments.pipeline.batching_spec`
+builds the scenario (four ISP readers at queue depth 16 behind an
+8-slot port cap) and the registered ``batching`` experiment runs the
+2x2 of {sequential, random} x {coalescing off, on}
+(``repro run batching``).
+
+The shape expectations:
+
+* a sequential tenant's outstanding window merges into wide multi-page
+  commands (close to the 8-page cap), multiplying the pages in flight
+  per port slot — so per-page mean latency drops and bandwidth rises
+  versus coalescing off;
+* a random tenant almost never has stripe-adjacent requests staged
+  together, so coalescing leaves its numbers bit-identical — the
+  stage must cost nothing when it cannot help.
+"""
+
+from conftest import run_registered
+
+
+def test_batching(benchmark, report_tables):
+    result = run_registered(benchmark, "batching")
+    report_tables(result)
+    measured = result.metrics["scenarios"]
+    seq_off = measured["sequential-off"]
+    seq_on = measured["sequential-on"]
+    rnd_off = measured["random-off"]
+    rnd_on = measured["random-on"]
+
+    # Sequential windows merge close to the per-command page cap.
+    pages_per_cmd = seq_on["coalescing"]["pages_per_command"]
+    assert pages_per_cmd > 4, (
+        f"sequential traffic should merge wide: {pages_per_cmd:.1f} "
+        f"pages/command")
+
+    # Coalescing lowers the sequential tenant's per-page mean latency...
+    assert seq_on["tenant"]["mean_ns"] < 0.8 * seq_off["tenant"]["mean_ns"], (
+        f"coalescing should cut sequential mean latency: "
+        f"{seq_on['tenant']['mean_ns']:.0f} vs "
+        f"{seq_off['tenant']['mean_ns']:.0f} ns")
+
+    # ... and raises its bandwidth well past the slot-capped baseline.
+    assert seq_on["bandwidth_gbs"] > 1.5 * seq_off["bandwidth_gbs"], (
+        f"coalescing should lift sequential bandwidth: "
+        f"{seq_on['bandwidth_gbs']:.2f} vs "
+        f"{seq_off['bandwidth_gbs']:.2f} GB/s")
+
+    # Random traffic barely merges and must not be penalized.
+    assert rnd_on["coalescing"]["pages_per_command"] < 1.5, (
+        "random traffic should not merge")
+    assert rnd_on["tenant"]["completed"] == rnd_off["tenant"]["completed"], (
+        "coalescing must be a no-op for random traffic")
+    assert rnd_on["tenant"]["mean_ns"] == rnd_off["tenant"]["mean_ns"], (
+        "coalescing must not change random traffic's latency")

@@ -13,6 +13,11 @@ Commands
 ``run <id> [--json PATH]``
     Run one registered experiment, print its tables, and optionally
     save the machine-readable :class:`~repro.api.RunResult` as JSON.
+``bench [--out PATH] [ids...]``
+    Run the fixed perf-snapshot experiment set and write one
+    machine-readable JSON file (wall-clock + key metrics per
+    experiment) — the artifact CI archives per commit so the bench
+    trajectory is comparable over time.
 """
 
 from __future__ import annotations
@@ -128,6 +133,49 @@ def cmd_run(args) -> int:
     return 0
 
 
+#: The fixed experiment set every ``repro bench`` snapshot covers:
+#: the latency and bandwidth figures plus the async-path extensions —
+#: small enough to run on every commit, broad enough that a hot-path
+#: regression in any layer moves at least one number.
+BENCH_SET = ("fig12", "fig13", "qd_sweep", "batching")
+
+
+def cmd_bench(args) -> int:
+    import json
+    import platform
+    import time
+
+    from . import __version__ as version
+    from .api import run_experiment
+
+    experiments = list(args.experiments) or list(BENCH_SET)
+    snapshot = {
+        "schema": 1,
+        "version": version,
+        "python": platform.python_version(),
+        "experiments": {},
+    }
+    total = 0.0
+    for exp_id in experiments:
+        start = time.perf_counter()
+        result = run_experiment(exp_id)
+        wall = time.perf_counter() - start
+        total += wall
+        snapshot["experiments"][exp_id] = {
+            "wall_clock_s": round(wall, 3),
+            "simulated_ns": result.elapsed_ns,
+            "metrics": result.to_dict()["metrics"],
+        }
+        print(f"{exp_id:12s} {wall:7.2f}s wall")
+    snapshot["total_wall_clock_s"] = round(total, 3)
+    with open(args.out, "w") as fh:
+        json.dump(snapshot, fh, indent=2)
+        fh.write("\n")
+    print(f"\nwrote perf snapshot ({len(experiments)} experiments, "
+          f"{total:.1f}s) to {args.out}")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="BlueDBM reproduction toolkit")
@@ -141,9 +189,19 @@ def main(argv=None) -> int:
     run_parser.add_argument("experiment", help="experiment id (see list)")
     run_parser.add_argument("--json", metavar="PATH", default=None,
                             help="save the RunResult as JSON to PATH")
+    bench_parser = sub.add_parser(
+        "bench", help="run the perf-snapshot set, write one JSON file")
+    bench_parser.add_argument("experiments", nargs="*",
+                              help=f"experiment ids (default: "
+                                   f"{' '.join(BENCH_SET)})")
+    bench_parser.add_argument("--out", metavar="PATH",
+                              default="BENCH_pipeline.json",
+                              help="snapshot path "
+                                   "(default: BENCH_pipeline.json)")
     args = parser.parse_args(argv)
     handlers = {"info": cmd_info, "demo": cmd_demo, "list": cmd_list,
-                "experiments": cmd_list, "run": cmd_run, None: cmd_info}
+                "experiments": cmd_list, "run": cmd_run,
+                "bench": cmd_bench, None: cmd_info}
     return handlers[args.command](args)
 
 

@@ -57,6 +57,9 @@ class Session:
             tracer=self.tracer,
             port_qos=spec.port_qos(),
             bandwidth_window_ns=spec.bandwidth_window_ns,
+            coalesce=spec.coalesce,
+            coalesce_max_pages=spec.coalesce_max_pages,
+            host_queue_depth=spec.host_queue_depth,
         )
         if spec.n_nodes == 1:
             self.cluster: Optional[BlueDBMCluster] = None
@@ -121,16 +124,22 @@ class Session:
                 f"scenario {self.spec.name!r} has no workload to run")
         counters = {t.name: 0 for t in workload.tenants}
         shared_rng = random.Random(workload.seed)
+        depth = workload.queue_depth
         for tenant in workload.tenants:
             issue = None if tenant.background else self._issuer(tenant)
             for wid in range(tenant.workers):
                 rng = (shared_rng if tenant.rng == "shared"
                        else random.Random(tenant.seed_base + wid))
-                worker = (self._gc_worker(tenant, rng,
+                if tenant.background:
+                    worker = self._gc_worker(tenant, rng,
+                                             workload.duration_ns, counters)
+                elif depth > 1:
+                    worker = self._async_worker(tenant, rng, wid, issue,
+                                                workload.duration_ns,
+                                                counters, depth)
+                else:
+                    worker = self._worker(tenant, rng, wid, issue,
                                           workload.duration_ns, counters)
-                          if tenant.background
-                          else self._worker(tenant, rng, issue,
-                                            workload.duration_ns, counters))
                 self.sim.process(worker, name=f"{tenant.name}-worker")
         if workload.drain:
             self.sim.run()
@@ -138,17 +147,96 @@ class Session:
             self.sim.run(until=workload.duration_ns)
         return self._workload_result(counters)
 
-    def _worker(self, tenant: TenantSpec, rng: random.Random,
-                issue: Callable, deadline: int, counters: dict):
-        """One closed-loop reader: issue random page reads until the
-        window closes; count completions."""
-        sim = self.sim
+    def _addr_space(self, tenant: TenantSpec) -> int:
         geometry = self.spec.geometry
-        addr_space = (geometry.pages_per_node if tenant.addr_space is None
-                      else min(tenant.addr_space, geometry.pages_per_node))
+        return (geometry.pages_per_node if tenant.addr_space is None
+                else min(tenant.addr_space, geometry.pages_per_node))
+
+    @staticmethod
+    def _indices(tenant: TenantSpec, rng: random.Random, wid: int,
+                 addr_space: int):
+        """The worker's endless page-index stream (pattern-dependent).
+
+        ``random`` draws from the worker's RNG exactly as the seed's
+        inline ``randrange`` did; ``sequential`` walks consecutive
+        indices from a per-worker offset — stripe-adjacent runs, the
+        shape the coalescing stage merges.
+        """
+        if tenant.pattern == "sequential":
+            span = max(1, addr_space // tenant.workers)
+            index = (wid * span) % addr_space
+            while True:
+                yield index
+                index = (index + 1) % addr_space
+        else:
+            while True:
+                yield rng.randrange(addr_space)
+
+    def _worker(self, tenant: TenantSpec, rng: random.Random, wid: int,
+                issue: Callable, deadline: int, counters: dict):
+        """One synchronous closed-loop reader (queue depth 1): issue a
+        page read, wait for it, repeat until the window closes."""
+        sim = self.sim
+        indices = self._indices(tenant, rng, wid, self._addr_space(tenant))
         while sim.now < deadline:
-            yield from issue(rng.randrange(addr_space))
+            yield from issue(next(indices))
             counters[tenant.name] += 1
+
+    def _async_worker(self, tenant: TenantSpec, rng: random.Random,
+                      wid: int, issue: Callable, deadline: int,
+                      counters: dict, depth: int):
+        """One asynchronous closed-loop reader: keep ``depth`` requests
+        in flight, issuing replacements as completions arrive.
+
+        Host tenants ride the queue-depth interface itself
+        (:meth:`HostInterface.submit`): an initial ``depth``-wide batch,
+        then a refill batch per completion wave, so the window stays
+        full instead of draining to a barrier between rounds.  Every
+        other access kind uses a windowed process driver over the same
+        ``issue`` generator the synchronous worker uses.  Completions
+        are counted from the completion events themselves, so requests
+        still in flight when the window closes are counted if a
+        draining run lets them finish — matching the tracer's view.
+        """
+        sim = self.sim
+        name = tenant.name
+        indices = self._indices(tenant, rng, wid, self._addr_space(tenant))
+
+        def counted(event) -> None:
+            counters[name] += 1
+
+        if tenant.access == "host":
+            node = self.nodes[tenant.node]
+            geometry = self.spec.geometry
+
+            def refill(count: int) -> List:
+                ops = [("read", geometry.striped(next(indices),
+                                                 node=tenant.node))
+                       for _ in range(count)]
+                batch = node.host.submit(
+                    ops, queue_depth=count,
+                    software_path=tenant.software_path)
+                for item in batch.items:
+                    item.event.callbacks.append(counted)
+                return list(batch.items)
+
+            pending_items = refill(depth)
+            while sim.now < deadline:
+                yield sim.any_of([item.event for item in pending_items])
+                pending_items = [item for item in pending_items
+                                 if not item.completed]
+                if sim.now < deadline:
+                    pending_items.extend(refill(depth
+                                                - len(pending_items)))
+            return
+        pending: List = []
+        while sim.now < deadline:
+            while len(pending) < depth:
+                proc = sim.process(issue(next(indices)))
+                proc.callbacks.append(counted)
+                pending.append(proc)
+            yield sim.any_of(pending)
+            pending = [p for p in pending if not p.triggered]
 
     def _gc_worker(self, tenant: TenantSpec, rng: random.Random,
                    deadline: int, counters: dict):
@@ -252,6 +340,10 @@ class Session:
             "window_ns": window,
             "splitter_bandwidth": self._splitter_bandwidth(window),
         })
+        if self.spec.coalesce:
+            result.metrics["coalescing"] = {
+                node.node_id: node.splitter.coalescing_stats()
+                for node in self.nodes}
         return result
 
     def _splitter_bandwidth(self, window: int) -> dict:

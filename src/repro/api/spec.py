@@ -199,16 +199,23 @@ _ACCESS_KINDS = ("isp", "host", "net", "remote_isp", "gc")
 #: Splitter port names that accept per-tenant QoS parameters.
 _QOS_PORTS = ("isp", "host", "net")
 _RNG_MODES = ("per_worker", "shared")
+_PATTERNS = ("random", "sequential")
 
 
 @dataclass(frozen=True)
 class TenantSpec:
     """One class of closed-loop traffic in a workload mix.
 
-    ``workers`` generators loop random page reads until the workload
-    window closes.  ``access`` picks the path: the node's three splitter
+    ``workers`` generators loop page reads until the workload window
+    closes.  ``access`` picks the path: the node's three splitter
     ports (``isp`` / ``host`` / ``net``) or ``remote_isp`` — ISP-F reads
     of node ``target``'s flash over the integrated network.
+
+    ``pattern`` chooses the address stream: ``random`` (the default —
+    every read draws from the tenant's RNG) or ``sequential`` — each
+    worker walks consecutive striped indices from its own offset, the
+    access shape that the splitter's coalescing stage merges into
+    multi-page commands.
 
     RNG discipline is part of the spec because it decides reproducibility:
     ``per_worker`` gives worker *i* its own ``Random(seed_base + i)``
@@ -238,6 +245,7 @@ class TenantSpec:
     target: Optional[int] = None
     addr_space: Optional[int] = None
     software_path: bool = True
+    pattern: str = "random"
     rng: str = "per_worker"
     seed_base: int = 0
     max_in_flight: Optional[int] = None
@@ -284,6 +292,13 @@ class TenantSpec:
         if self.rng not in _RNG_MODES:
             raise SpecError(f"tenant {self.name!r}: rng must be one of "
                             f"{_RNG_MODES}, got {self.rng!r}")
+        if self.pattern not in _PATTERNS:
+            raise SpecError(f"tenant {self.name!r}: pattern must be one "
+                            f"of {_PATTERNS}, got {self.pattern!r}")
+        if self.pattern == "sequential" and self.background:
+            raise SpecError(
+                f"tenant {self.name!r}: background GC traffic picks its "
+                f"own victims; pattern='sequential' does not apply")
         if self.addr_space is not None and self.addr_space < 1:
             raise SpecError(f"tenant {self.name!r}: addr_space must be "
                             f">= 1")
@@ -385,17 +400,30 @@ class WorkloadSpec:
     Figure 13's scheme.  ``drain=True`` stops *issuing* at the deadline
     but runs every in-flight request to completion — the QoS scenario's
     scheme, where tail latency of the last victims is the point.
+
+    ``queue_depth`` sets how many requests each foreground worker keeps
+    in flight.  The default (1) is the seed's synchronous closed loop —
+    issue, wait, repeat; deeper queues drive the asynchronous
+    submission path (host tenants ride
+    :meth:`~repro.host.iface.HostInterface.submit`, the other access
+    kinds a windowed process driver), which is what saturates the
+    card.  Background (GC) tenants always run synchronously — their
+    read/relocate/erase loop is inherently ordered.
     """
 
     duration_ns: int
     tenants: Tuple[TenantSpec, ...]
     seed: int = 1234
     drain: bool = False
+    queue_depth: int = 1
 
     def __post_init__(self):
         if self.duration_ns <= 0:
             raise SpecError(f"duration_ns must be positive, "
                             f"got {self.duration_ns}")
+        if self.queue_depth < 1:
+            raise SpecError(f"queue_depth must be >= 1, "
+                            f"got {self.queue_depth}")
         tenants = tuple(
             t if isinstance(t, TenantSpec) else TenantSpec(**t)
             for t in self.tenants)
@@ -409,7 +437,8 @@ class WorkloadSpec:
     def to_dict(self) -> dict:
         return {"duration_ns": self.duration_ns,
                 "tenants": [t.to_dict() for t in self.tenants],
-                "seed": self.seed, "drain": self.drain}
+                "seed": self.seed, "drain": self.drain,
+                "queue_depth": self.queue_depth}
 
     @classmethod
     def from_dict(cls, data: dict) -> "WorkloadSpec":
@@ -450,6 +479,9 @@ class ScenarioSpec:
     splitter_policy: Optional[str] = None
     splitter_in_flight: Optional[int] = None
     bandwidth_window_ns: int = 1_000_000
+    coalesce: bool = False
+    coalesce_max_pages: int = 8
+    host_queue_depth: int = 8
     trace: bool = True
     workload: Optional[WorkloadSpec] = None
 
@@ -494,6 +526,16 @@ class ScenarioSpec:
             raise SpecError("splitter_in_flight must be >= 1")
         if self.bandwidth_window_ns < 1:
             raise SpecError("bandwidth_window_ns must be >= 1")
+        if self.coalesce_max_pages < 1:
+            raise SpecError(f"coalesce_max_pages must be >= 1, "
+                            f"got {self.coalesce_max_pages}")
+        if self.coalesce and self.coalesce_max_pages < 2:
+            raise SpecError(
+                "coalescing merges at least two pages per command; "
+                "coalesce=True needs coalesce_max_pages >= 2")
+        if self.host_queue_depth < 1:
+            raise SpecError(f"host_queue_depth must be >= 1, "
+                            f"got {self.host_queue_depth}")
         if self.workload is not None:
             policy_labels: Dict[str, str] = {}
             for tenant in self.workload.tenants:
@@ -578,6 +620,9 @@ class ScenarioSpec:
             "splitter_policy": self.splitter_policy,
             "splitter_in_flight": self.splitter_in_flight,
             "bandwidth_window_ns": self.bandwidth_window_ns,
+            "coalesce": self.coalesce,
+            "coalesce_max_pages": self.coalesce_max_pages,
+            "host_queue_depth": self.host_queue_depth,
             "trace": self.trace,
             "workload": (None if self.workload is None
                          else self.workload.to_dict()),

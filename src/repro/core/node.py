@@ -53,7 +53,11 @@ class BlueDBMNode:
     (ISP / host / network service), bounded to ``splitter_in_flight``
     outstanding commands; ``scheduler_policy`` selects the accelerator
     scheduler's discipline; ``tracer`` attaches end-to-end request
-    tracing to every path through the node.
+    tracing to every path through the node.  ``coalesce`` /
+    ``coalesce_max_pages`` enable the splitter's admission-side
+    coalescing stage (stripe-adjacent reads merge into multi-page
+    commands); ``host_queue_depth`` is the default in-flight bound of
+    the host interface's asynchronous ``submit`` path.
     """
 
     def __init__(self, sim: Simulator, node_id: int = 0,
@@ -70,7 +74,10 @@ class BlueDBMNode:
                  scheduler_policy=None,
                  tracer: Optional[RequestTracer] = None,
                  port_qos: Optional[dict] = None,
-                 bandwidth_window_ns: int = 1_000_000):
+                 bandwidth_window_ns: int = 1_000_000,
+                 coalesce: bool = False,
+                 coalesce_max_pages: int = 8,
+                 host_queue_depth: int = 8):
         self.sim = sim
         self.node_id = node_id
         self.geometry = geometry
@@ -86,7 +93,9 @@ class BlueDBMNode:
                                       policy=splitter_policy,
                                       total_in_flight=splitter_in_flight,
                                       tracer=tracer,
-                                      bandwidth_window_ns=bandwidth_window_ns)
+                                      bandwidth_window_ns=bandwidth_window_ns,
+                                      coalesce=coalesce,
+                                      coalesce_max_pages=coalesce_max_pages)
         # Port 0: local in-store processors; port 1: host software;
         # port 2: remote requests arriving over the storage network.
         # ``port_qos`` maps tenant name -> add_port kwargs (priority,
@@ -106,7 +115,8 @@ class BlueDBMNode:
         self.pcie = PCIeLink(sim, self.host_config)
         self.host = HostInterface(sim, self.host_config, self.cpu,
                                   self.pcie, self.host_port,
-                                  geometry.page_size, tracer=tracer)
+                                  geometry.page_size, tracer=tracer,
+                                  queue_depth=host_queue_depth)
 
         # On-board DRAM buffer (Figure 2's fourth service).
         self.dram = DRAMStore(sim, page_size=geometry.page_size,

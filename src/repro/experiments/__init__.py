@@ -23,3 +23,4 @@ from . import fig21  # noqa: F401,E402
 from . import ablations  # noqa: F401,E402
 from . import ext  # noqa: F401,E402
 from . import qos  # noqa: F401,E402
+from . import pipeline  # noqa: F401,E402

@@ -12,13 +12,22 @@ Layers, bottom-up:
   wear-scaled bit-error injection.
 * :mod:`~repro.flash.controller` — the tagged, out-of-order,
   error-corrected card controller (:class:`FlashCard`).
+* :mod:`~repro.flash.coalesce` — the splitter's admission-side
+  coalescing stage: stripe-adjacent page reads merge into multi-page
+  commands (:class:`Coalescer`).
 * :mod:`~repro.flash.splitter` — multi-user access with tag renaming.
 * :mod:`~repro.flash.server` — Flash Server: in-order streaming interface
   plus the Address Translation Unit for file-handle access.
 """
 
 from .chip import ErrorModel, EraseError, FlashChip, FlashTiming, ProgramError
-from .controller import FlashCard, ReadResult, UncorrectablePageError
+from .coalesce import Coalescer, first_group, plan_groups
+from .controller import (
+    FlashCard,
+    PartialReadError,
+    ReadResult,
+    UncorrectablePageError,
+)
 from .ecc import UncorrectableError
 from .geometry import DEFAULT_GEOMETRY, FlashGeometry, PhysAddr
 from .health import BadBlockTable, WearTracker
@@ -41,9 +50,13 @@ __all__ = [
     "FlashCard",
     "ReadResult",
     "UncorrectablePageError",
+    "PartialReadError",
     "UncorrectableError",
     "FlashSplitter",
     "SplitterPort",
+    "Coalescer",
+    "first_group",
+    "plan_groups",
     "FlashServer",
     "FileHandle",
 ]

@@ -1,0 +1,267 @@
+"""Request coalescing at splitter admission: merge adjacent pages.
+
+The card pays a per-command setup cost (tag allocation, command
+issue/decode) for every operation, and every command occupies one
+admission slot.  Under deep queues that overhead is the difference
+between the advertised bandwidth and what a one-page-per-command
+interface reaches — so the splitter grows a *coalescing stage*: page
+reads arriving at a port are staged briefly, stripe-adjacent requests
+from the same tenant merge into one multi-page command (at most
+``max_pages``, never across a card boundary), and the merged command
+takes one port slot, one admission grant whose *cost* is the combined
+payload bytes, and one card command.
+
+Adjacency is *stripe order* (:meth:`~repro.flash.geometry.FlashGeometry.
+striped_index`): the order a controller lays out sequential data, so a
+sequential reader's outstanding window merges into full-width commands
+while a random reader's almost never does.
+
+Grouping is greedy in arrival order and is factored into the pure
+:func:`first_group` / :func:`plan_groups` helpers so property tests can
+drive the planner without a simulator: groups partition their input
+exactly, stay within one tenant and one card, take stripe-consecutive
+pages only, and never exceed the page cap.
+
+The merged command completes as a unit — one completion message per
+command, like the tagged interface underneath — so a closed-loop
+submitter gets its whole window back at once and refills it with the
+next adjacent run, which is what keeps commands wide in steady state.
+Commands from different tenants/groups still complete out of order with
+respect to each other.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Sequence, Tuple
+
+from ..io import BatchStageSpan, IORequest
+from ..sim import Event, Simulator
+from .controller import PartialReadError
+
+__all__ = ["Coalescer", "first_group", "plan_groups"]
+
+#: (tenant, card-identity, stripe index) — the only attributes the
+#: grouping rule reads.
+GroupKey = Tuple[str, object, int]
+
+
+def first_group(keys: Sequence[GroupKey], max_pages: int) -> List[int]:
+    """Positions forming the next merged command, greedy from the head.
+
+    The head entry (position 0) always dispatches; later entries join
+    in arrival order while each extends the run by exactly one stripe
+    index, shares the head's tenant and card, and the group stays
+    within ``max_pages``.
+    """
+    if max_pages < 1:
+        raise ValueError(f"max_pages must be >= 1, got {max_pages}")
+    if not keys:
+        return []
+    tenant, card, last = keys[0]
+    group = [0]
+    taken = {0}
+    while len(group) < max_pages:
+        for pos in range(1, len(keys)):
+            if pos in taken:
+                continue
+            t, c, index = keys[pos]
+            if t == tenant and c == card and index == last + 1:
+                group.append(pos)
+                taken.add(pos)
+                last = index
+                break
+        else:
+            break
+    return group
+
+
+def plan_groups(keys: Sequence[GroupKey],
+                max_pages: int) -> List[List[int]]:
+    """Partition a static arrival queue into merged commands.
+
+    Repeatedly applies :func:`first_group` the way the dispatcher does
+    when every entry is already staged; returns position groups in
+    dispatch order.  This is the reference model the hypothesis
+    property tests check the coalescer against.
+    """
+    remaining = list(range(len(keys)))
+    groups: List[List[int]] = []
+    while remaining:
+        local = first_group([keys[pos] for pos in remaining], max_pages)
+        groups.append([remaining[i] for i in local])
+        remaining = [pos for i, pos in enumerate(remaining)
+                     if i not in set(local)]
+    return groups
+
+
+class _Pending:
+    """One staged page read awaiting merge + dispatch."""
+
+    __slots__ = ("addr", "key", "request", "event", "enqueued_ns")
+
+    def __init__(self, addr, key: GroupKey,
+                 request: Optional[IORequest], event: Event,
+                 enqueued_ns: int):
+        self.addr = addr
+        self.key = key
+        self.request = request
+        self.event = event
+        self.enqueued_ns = enqueued_ns
+
+
+class Coalescer:
+    """The per-port coalescing stage in front of splitter admission.
+
+    ``submit`` stages a page read and returns its completion event
+    (value: the page's :class:`~repro.flash.controller.ReadResult`);
+    a dispatcher process drains the staging queue, merging adjacent
+    runs per :func:`first_group` and launching one admission + card
+    command per group.  Everything that arrives within one simulator
+    timestep is visible to the same dispatch round, so a queue-depth-N
+    submitter's whole window can merge.
+    """
+
+    def __init__(self, port, max_pages: int):
+        if max_pages < 2:
+            raise ValueError(
+                f"coalescing needs max_pages >= 2, got {max_pages}")
+        self.port = port
+        self.splitter = port.splitter
+        self.sim: Simulator = port.splitter.sim
+        self.max_pages = max_pages
+        self._staging: Deque[_Pending] = deque()
+        self._gate: Optional[Event] = None
+        #: commands dispatched / pages carried / pages that rode a
+        #: multi-page command (the amortized ones).
+        self.commands = 0
+        self.pages = 0
+        self.merged_pages = 0
+        self.sim.process(self._dispatch(),
+                         name=f"coalescer-{port.tenant}")
+
+    # -- intake ---------------------------------------------------------
+    def submit(self, addr, request: Optional[IORequest]) -> Event:
+        """Stage one page read; returns the event its result rides on."""
+        geometry = self.splitter.geometry
+        key: GroupKey = (self.port.sched_tenant(request),
+                         (addr.node, addr.card),
+                         geometry.striped_index(addr))
+        pending = _Pending(addr, key, request, Event(self.sim),
+                           self.sim.now)
+        self._staging.append(pending)
+        if self._gate is not None and not self._gate.triggered:
+            self._gate.succeed()
+        return pending.event
+
+    @property
+    def depth(self) -> int:
+        """Requests currently staged (not yet dispatched)."""
+        return len(self._staging)
+
+    @property
+    def pages_per_command(self) -> float:
+        """Mean merged width over the coalescer's lifetime."""
+        return self.pages / self.commands if self.commands else 0.0
+
+    def stats(self) -> dict:
+        return {"commands": self.commands, "pages": self.pages,
+                "merged_pages": self.merged_pages,
+                "pages_per_command": self.pages_per_command}
+
+    # -- dispatch -------------------------------------------------------
+    def _dispatch(self):
+        """Forever: wait for staged work, carve a group, launch it."""
+        sim = self.sim
+        while True:
+            if not self._staging:
+                self._gate = sim.event()
+                yield self._gate
+                self._gate = None
+            group = self._take_group()
+            sim.process(self._execute(group),
+                        name=f"coalesced-{self.port.tenant}")
+
+    def _take_group(self) -> List[_Pending]:
+        """Remove the next merged command's members from staging."""
+        positions = first_group([p.key for p in self._staging],
+                                self.max_pages)
+        taken = set(positions)
+        group = [self._staging[pos] for pos in positions]
+        self._staging = deque(
+            p for pos, p in enumerate(self._staging) if pos not in taken)
+        return group
+
+    def _execute(self, group: List[_Pending]):
+        """Admit and run one merged command; settle every child.
+
+        Admission (port slot + shared admission stage) charges the
+        merged payload as one queue entry — ``cost`` in bytes, ``pages``
+        wide — so WFQ/token-bucket arbitrate the real load while the
+        command occupies a single slot.  QoS identity comes from the
+        group head exactly as the unmerged path takes it from each
+        request.
+        """
+        port = self.port
+        splitter = self.splitter
+        sim = self.sim
+        head = group[0]
+        tenant = head.key[0]
+        priority = port.priority
+        if head.request is not None and head.request.priority is not None:
+            priority = head.request.priority
+        deadline = None
+        if head.request is not None and head.request.deadline_ns is not None:
+            deadline = head.request.deadline_ns
+        elif port.deadline_ns is not None:
+            deadline = sim.now + port.deadline_ns
+        size = splitter.page_size
+        cost = size * len(group)
+        requests = [p.request for p in group]
+        admission = splitter.admission
+        with BatchStageSpan(sim, requests, "queue"):
+            yield port._slots.request(tenant=tenant, priority=priority,
+                                      deadline_ns=deadline, cost=cost,
+                                      pages=len(group))
+            if admission is not None:
+                try:
+                    yield admission.request(tenant=tenant,
+                                            priority=priority,
+                                            deadline_ns=deadline,
+                                            cost=cost, pages=len(group))
+                except BaseException:
+                    port._slots.release()
+                    raise
+        self.commands += 1
+        self.pages += len(group)
+        if len(group) > 1:
+            self.merged_pages += len(group)
+        try:
+            results = yield sim.process(splitter.card.read_pages(
+                [p.addr for p in group], requests=requests))
+        except PartialReadError as exc:
+            # Per-child fidelity: successful siblings keep their pages
+            # (and their served bytes), only the bad ones fail — the
+            # same outcome each would have seen unmerged.
+            served = sum(1 for result in exc.results if result is not None)
+            splitter.bandwidth.record(tenant, size * served)
+            for pending, result, error in zip(group, exc.results,
+                                              exc.errors):
+                if error is not None:
+                    pending.event.fail(error)
+                else:
+                    pending.event.succeed(result)
+            return
+        except BaseException as exc:
+            # This process has no waiter: deliver the failure to every
+            # child instead of crashing the simulation.
+            for pending in group:
+                pending.event.fail(exc)
+            return
+        finally:
+            if admission is not None:
+                admission.release()
+            port._slots.release()
+        splitter.bandwidth.record(tenant, cost)
+        for pending, result in zip(group, results):
+            pending.event.succeed(result)

@@ -24,7 +24,7 @@ from __future__ import annotations
 import random
 from typing import Dict, Optional, Tuple
 
-from ..io import IORequest, StageSpan
+from ..io import BatchStageSpan, IORequest, StageSpan
 from ..sim import Counter, Resource, Simulator, Store, units
 from . import ecc
 from .chip import ErrorModel, FlashChip, FlashTiming, ProgramError, EraseError
@@ -32,7 +32,8 @@ from .geometry import DEFAULT_GEOMETRY, FlashGeometry, PhysAddr
 from .health import BadBlockTable, WearTracker
 from .store import PageStore
 
-__all__ = ["FlashCard", "ReadResult", "UncorrectablePageError"]
+__all__ = ["FlashCard", "ReadResult", "UncorrectablePageError",
+           "PartialReadError"]
 
 
 class UncorrectablePageError(Exception):
@@ -41,6 +42,26 @@ class UncorrectablePageError(Exception):
     def __init__(self, addr: PhysAddr):
         super().__init__(f"uncorrectable ECC error at {addr}")
         self.addr = addr
+
+
+class PartialReadError(Exception):
+    """A multi-page command finished with some pages failed.
+
+    ``results`` / ``errors`` are parallel to the command's address
+    list: exactly one of ``results[i]`` / ``errors[i]`` is set per
+    page, so a caller fanning completions back out (the splitter's
+    coalescer) can settle the successful pages normally and fail only
+    the ones that actually went bad.
+    """
+
+    def __init__(self, results: list, errors: list):
+        failed = [str(e.addr) for e in errors
+                  if isinstance(e, UncorrectablePageError)]
+        super().__init__(
+            f"{sum(e is not None for e in errors)} of {len(errors)} "
+            f"pages failed in a multi-page command ({', '.join(failed)})")
+        self.results = results
+        self.errors = errors
 
 
 class ReadResult:
@@ -149,36 +170,120 @@ class FlashCard:
         try:
             with StageSpan(self.sim, request, "storage"):
                 yield self.sim.timeout(self.timing.cmd_overhead_ns)
-                data, parity, flips = yield self.sim.process(chip.read(addr))
-            with StageSpan(self.sim, request, "device"):
-                bus = self.buses[addr.bus]
-                yield bus.request()
-                try:
-                    yield self.sim.timeout(
-                        self._bus_transfer_ns(self.geometry.page_size))
-                finally:
-                    bus.release()
-                yield self.aurora.request()
-                try:
-                    yield self.sim.timeout(
-                        self.timing.aurora_latency_ns
-                        + self._aurora_transfer_ns(self.geometry.page_size))
-                finally:
-                    self.aurora.release()
-            corrected_bits = 0
-            if flips:
-                try:
-                    data, corrected_bits = ecc.decode_page(data, parity)
-                    self.bits_corrected.add(corrected_bits)
-                except ecc.UncorrectableError:
-                    self.uncorrectable.add()
-                    self.badblocks.mark_bad(addr)
-                    raise UncorrectablePageError(addr) from None
-            self.reads.add()
-            self.bytes_read.add(self.geometry.page_size)
-            return ReadResult(addr, data, tag, corrected_bits)
+            result = yield from self._page_service(addr, chip, request, tag)
+            return result
         finally:
             self._tag_pool.put_nowait(tag)
+
+    def _page_service(self, addr: PhysAddr, chip, request, tag: int):
+        """Array read + card-internal transfer + ECC for one page.
+
+        The shared service half of both a plain :meth:`read_page` and
+        each page of a multi-page command — the caller owns the tag and
+        the per-command setup, so single and coalesced reads cannot
+        drift apart.
+        """
+        with StageSpan(self.sim, request, "storage"):
+            data, parity, flips = yield self.sim.process(chip.read(addr))
+        with StageSpan(self.sim, request, "device"):
+            bus = self.buses[addr.bus]
+            yield bus.request()
+            try:
+                yield self.sim.timeout(
+                    self._bus_transfer_ns(self.geometry.page_size))
+            finally:
+                bus.release()
+            yield self.aurora.request()
+            try:
+                yield self.sim.timeout(
+                    self.timing.aurora_latency_ns
+                    + self._aurora_transfer_ns(self.geometry.page_size))
+            finally:
+                self.aurora.release()
+        corrected_bits = 0
+        if flips:
+            try:
+                data, corrected_bits = ecc.decode_page(data, parity)
+                self.bits_corrected.add(corrected_bits)
+            except ecc.UncorrectableError:
+                self.uncorrectable.add()
+                self.badblocks.mark_bad(addr)
+                raise UncorrectablePageError(addr) from None
+        self.reads.add()
+        self.bytes_read.add(self.geometry.page_size)
+        return ReadResult(addr, data, tag, corrected_bits)
+
+    def read_pages(self, addrs, requests=None):
+        """One multi-page command: a single tag and one command setup
+        amortized over several page reads (DES generator).
+
+        This is the card half of splitter-admission coalescing: the
+        whole group holds *one* physical tag and pays
+        ``cmd_overhead_ns`` once, then every page's array read proceeds
+        concurrently (the addresses of a stripe-adjacent run land on
+        distinct buses, so the chip reads and bus transfers overlap;
+        the aurora link serializes the payloads as usual).  The command
+        retires — and the tag frees — when the last page has
+        transferred.
+
+        ``requests`` is an optional parallel list of per-page
+        :class:`~repro.io.request.IORequest`\\ s; shared waits (tag,
+        command setup) are charged to every child via
+        :class:`~repro.io.stage.BatchStageSpan`, per-page service to
+        each child alone, so the tracer still attributes queueing vs.
+        service per page.  Returns the :class:`ReadResult` list in
+        input order; if any page fails, raises
+        :class:`PartialReadError` carrying per-page outcomes so the
+        successful siblings' results are not lost.
+        """
+        if not addrs:
+            return []
+        requests = (list(requests) if requests is not None
+                    else [None] * len(addrs))
+        if len(requests) != len(addrs):
+            raise ValueError(
+                f"{len(requests)} requests for {len(addrs)} addresses")
+        chips = [self._chip(addr) for addr in addrs]
+        results: list = [None] * len(addrs)
+        errors: list = [
+            UncorrectablePageError(addr) if self.badblocks.is_bad(addr)
+            else None
+            for addr in addrs]
+        if all(error is not None for error in errors):
+            # Nothing readable: fail like read_page does, pre-tag.
+            raise PartialReadError(results, errors)
+        with BatchStageSpan(self.sim, requests, "tag"):
+            tag = yield self._tag_pool.get()
+        try:
+            with BatchStageSpan(self.sim, requests, "storage"):
+                yield self.sim.timeout(self.timing.cmd_overhead_ns)
+            procs = [
+                self.sim.process(self._page_read(
+                    addr, chip, request, tag, index, results, errors))
+                for index, (addr, chip, request)
+                in enumerate(zip(addrs, chips, requests))
+                if errors[index] is None
+            ]
+            for proc in procs:
+                yield proc
+            if any(error is not None for error in errors):
+                raise PartialReadError(results, errors)
+            return results
+        finally:
+            self._tag_pool.put_nowait(tag)
+
+    def _page_read(self, addr: PhysAddr, chip, request, tag: int,
+                   index: int, results: list, errors: list):
+        """One page of a multi-page command: the shared per-page
+        service with its failure parked instead of raised — the pages
+        of one command run as sibling processes with no waiter of
+        their own, and the command must retire as a unit either way.
+        """
+        try:
+            results[index] = yield from self._page_service(
+                addr, chip, request, tag)
+        except UncorrectablePageError as exc:
+            errors[index] = exc
 
     def write_page(self, addr: PhysAddr, data: bytes,
                    request: Optional[IORequest] = None):

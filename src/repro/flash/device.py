@@ -60,6 +60,24 @@ class StorageDevice:
             self._card(addr).read_page(addr, request=request))
         return result
 
+    def read_pages(self, addrs, requests=None):
+        """Multi-page command routed to one card (DES generator).
+
+        A coalesced command is a single tagged operation on a single
+        card, so every address must land on the same card — the
+        splitter's coalescing stage never merges across that boundary.
+        """
+        if not addrs:
+            return []
+        cards = {addr.card for addr in addrs}
+        if len(cards) > 1:
+            raise ValueError(
+                f"multi-page command spans cards {sorted(cards)}; "
+                f"coalesced commands are per-card")
+        results = yield self.sim.process(
+            self._card(addrs[0]).read_pages(addrs, requests=requests))
+        return results
+
     def write_page(self, addr: PhysAddr, data: bytes, request=None):
         yield self.sim.process(
             self._card(addr).write_page(addr, data, request=request))

@@ -128,6 +128,23 @@ class FlashGeometry:
         return PhysAddr(node=node, card=card, bus=bus, chip=chip,
                         block=block, page=page)
 
+    def striped_index(self, addr: "PhysAddr") -> int:
+        """Inverse of :meth:`striped`: the sequential index of ``addr``.
+
+        Two pages are *stripe-adjacent* — the unit the splitter's
+        coalescing stage merges — exactly when their striped indices are
+        consecutive: that is the order a controller lays out sequential
+        data, so a sequential reader touches consecutive indices even
+        though they interleave across buses and cards.
+        """
+        self.validate(addr)
+        n_units = (self.cards_per_node * self.buses_per_card
+                   * self.chips_per_bus)
+        unit = (addr.bus + self.buses_per_card
+                * (addr.card + self.cards_per_node * addr.chip))
+        offset = addr.block * self.pages_per_block + addr.page
+        return offset * n_units + unit
+
     def validate(self, addr: "PhysAddr") -> None:
         """Raise ValueError if ``addr`` exceeds this geometry."""
         if not 0 <= addr.card < self.cards_per_node:

@@ -42,8 +42,9 @@ from typing import List, Optional
 
 from ..io import IOKind, IORequest, RequestTracer, ScheduledResource, StageSpan
 from ..sim import BandwidthLedger, Counter, Simulator
+from .coalesce import Coalescer
 from .controller import FlashCard, ReadResult
-from .geometry import PhysAddr
+from .geometry import DEFAULT_GEOMETRY, PhysAddr
 
 __all__ = ["FlashSplitter", "SplitterPort"]
 
@@ -68,6 +69,8 @@ class SplitterPort:
                                         capacity=max_in_flight,
                                         policy="fifo",
                                         name=f"splitter-{self.tenant}")
+        self.coalescer = (Coalescer(self, splitter.coalesce_max_pages)
+                          if splitter.coalesce else None)
         self._next_user_tag = 0
         self.reads = Counter(f"user{user_id}-reads")
         self.writes = Counter(f"user{user_id}-writes")
@@ -171,10 +174,25 @@ class SplitterPort:
 
     def read_page(self, addr: PhysAddr, request: Optional[IORequest] = None):
         """Read via the shared card; returns :class:`ReadResult` whose tag
-        is this user's renamed tag, not the card's physical tag."""
+        is this user's renamed tag, not the card's physical tag.
+
+        With coalescing enabled the read is staged at the port's
+        :class:`~repro.flash.coalesce.Coalescer` instead of admitted
+        directly: stripe-adjacent reads from the same tenant merge into
+        one multi-page command (one slot, one admission grant at the
+        merged byte cost, one card command), and this generator resumes
+        when the merged command delivers its page.
+        """
         size = self.splitter.page_size
         request, owned = self._start(IOKind.READ, addr, size, request)
         user_tag = self._rename()
+        if self.coalescer is not None:
+            result = yield self.coalescer.submit(addr, request)
+            self.reads.add()
+            if owned:
+                self.splitter.tracer.complete(request)
+            return ReadResult(result.addr, result.data, user_tag,
+                              result.corrected_bits)
         yield from self._admit(request, cost=size)
         try:
             result = yield self.splitter.sim.process(
@@ -249,11 +267,18 @@ class FlashSplitter:
                  fair_share: Optional[int] = None,
                  policy=None, total_in_flight: Optional[int] = None,
                  tracer: Optional[RequestTracer] = None,
-                 bandwidth_window_ns: int = 1_000_000):
+                 bandwidth_window_ns: int = 1_000_000,
+                 coalesce: bool = False, coalesce_max_pages: int = 8):
+        if coalesce and coalesce_max_pages < 2:
+            raise ValueError(
+                f"coalescing needs coalesce_max_pages >= 2, "
+                f"got {coalesce_max_pages}")
         self.sim = sim
         self.card = card  # the flash target (card or device)
         self.fair_share = fair_share
         self.tracer = tracer
+        self.coalesce = coalesce
+        self.coalesce_max_pages = coalesce_max_pages
         self.ports: List[SplitterPort] = []
         self.bandwidth = BandwidthLedger(sim, window_ns=bandwidth_window_ns,
                                          name="splitter-bandwidth")
@@ -292,9 +317,19 @@ class FlashSplitter:
         return getattr(self.card, "tag_count", 128)
 
     @property
+    def geometry(self):
+        """The target's flash geometry (adjacency + page size source)."""
+        return getattr(self.card, "geometry", DEFAULT_GEOMETRY)
+
+    @property
     def page_size(self) -> int:
         geometry = getattr(self.card, "geometry", None)
         return getattr(geometry, "page_size", 8192)
+
+    def coalescing_stats(self) -> dict:
+        """Per-port coalescer counters (empty when coalescing is off)."""
+        return {port.tenant: port.coalescer.stats()
+                for port in self.ports if port.coalescer is not None}
 
     @property
     def in_flight(self) -> int:

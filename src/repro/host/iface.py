@@ -6,9 +6,23 @@ reads:  syscall+driver -> free read buffer -> RPC -> flash (tagged read)
         -> DMA burst(s) into the buffer -> completion interrupt
 writes: syscall+driver -> free write buffer -> data copy + RPC ->
         DMA to device -> flash program -> ack
+erases: syscall+driver -> RPC -> flash erase
 
 The in-store processor path skips everything except the flash access —
 that difference is the core of Figures 12, 19, and 21.
+
+Two submission disciplines share one per-operation flow:
+
+* the blocking calls (:meth:`HostInterface.read_page` /
+  :meth:`~HostInterface.write_page` / :meth:`~HostInterface.erase_block`)
+  run the flow inline — queue depth 1, exactly the seed behavior;
+* :meth:`HostInterface.submit` is the queue-depth interface: it takes a
+  whole batch of operations, returns immediately with a
+  :class:`~repro.io.batch.RequestBatch`, and pumps up to ``queue_depth``
+  flows concurrently.  Completions are delivered out of order as each
+  flow finishes — per-item events plus the batch's ``done`` event —
+  which is how the card's deep-queue bandwidth becomes reachable from
+  host software.
 
 Requests ride the unified I/O pipeline: when a
 :class:`~repro.io.tracer.RequestTracer` is attached (or the caller
@@ -20,11 +34,12 @@ RPC time is charged to the ``software`` stage, buffer waits to
 
 from __future__ import annotations
 
-from typing import Optional
+from collections import deque
+from typing import Iterable, Optional
 
 from ..flash import PhysAddr, ReadResult
 from ..flash.splitter import SplitterPort
-from ..io import IOKind, IORequest, RequestTracer, StageSpan
+from ..io import IOKind, IORequest, RequestBatch, RequestTracer, StageSpan
 from ..sim import Counter, LatencyStats, Simulator
 from .buffers import PageBufferPool
 from .config import HostConfig
@@ -35,12 +50,20 @@ __all__ = ["HostInterface"]
 
 
 class HostInterface:
-    """Software's RPC + DMA window onto the local storage device."""
+    """Software's RPC + DMA window onto the local storage device.
+
+    ``queue_depth`` is the default in-flight bound :meth:`submit` pumps
+    a batch at (overridable per call); the blocking single-request
+    calls are always effectively queue depth 1.
+    """
 
     def __init__(self, sim: Simulator, config: HostConfig, cpu: HostCPU,
                  pcie: PCIeLink, port: SplitterPort, page_size: int,
                  tracer: Optional[RequestTracer] = None,
-                 tenant: str = "host"):
+                 tenant: str = "host", queue_depth: int = 8):
+        if queue_depth < 1:
+            raise ValueError(
+                f"queue_depth must be >= 1, got {queue_depth}")
         self.sim = sim
         self.config = config
         self.cpu = cpu
@@ -49,6 +72,7 @@ class HostInterface:
         self.page_size = page_size
         self.tracer = tracer
         self.tenant = tenant
+        self.queue_depth = queue_depth
         self.read_buffers = PageBufferPool(sim, config.read_buffers,
                                            "read-buffers")
         self.write_buffers = PageBufferPool(sim, config.write_buffers,
@@ -76,18 +100,10 @@ class HostInterface:
                                  priority=self.port.priority,
                                  deadline_ns=deadline), True
 
-    def read_page(self, addr: PhysAddr, software_path: bool = True,
-                  request: Optional[IORequest] = None):
-        """Read one flash page into host memory (DES generator).
-
-        ``software_path=False`` models a request issued by an already-
-        running kernel-bypass loop (no per-request syscall/driver cost) —
-        used by baselines that batch requests.
-        Returns the corrected page data.
-        """
-        request, owned = self._start(IOKind.READ, addr, self.page_size,
-                                     request)
-        start = self.sim.now
+    # -- per-operation flows (shared by blocking calls and submit) ------
+    def _read_flow(self, addr: PhysAddr, software_path: bool,
+                   request: Optional[IORequest]):
+        """The whole host read path for one page (DES generator)."""
         if software_path:
             with StageSpan(self.sim, request, "software"):
                 yield self.sim.process(
@@ -107,18 +123,11 @@ class HostInterface:
                 yield self.sim.timeout(self.config.interrupt_ns)
         finally:
             self.read_buffers.release(buffer_index)
-        self.reads.add()
-        self.read_latency.record(self.sim.now - start)
-        if owned:
-            self.tracer.complete(request)
-        return result.data
+        return result
 
-    def write_page(self, addr: PhysAddr, data: bytes,
-                   software_path: bool = True,
-                   request: Optional[IORequest] = None):
-        """Write one page from host memory to flash (DES generator)."""
-        request, owned = self._start(IOKind.WRITE, addr, len(data), request)
-        start = self.sim.now
+    def _write_flow(self, addr: PhysAddr, data: bytes,
+                    software_path: bool, request: Optional[IORequest]):
+        """The whole host write path for one page (DES generator)."""
         if software_path:
             with StageSpan(self.sim, request, "software"):
                 yield self.sim.process(
@@ -136,6 +145,48 @@ class HostInterface:
                 self.port.write_page(addr, data, request=request))
         finally:
             self.write_buffers.release(buffer_index)
+
+    def _erase_flow(self, addr: PhysAddr, software_path: bool,
+                    request: Optional[IORequest]):
+        """The driver-initiated block erase path (DES generator)."""
+        if software_path:
+            with StageSpan(self.sim, request, "software"):
+                yield self.sim.process(
+                    self.cpu.compute(self.config.software_request_ns))
+                yield self.sim.timeout(self.config.rpc_ns)
+        else:
+            with StageSpan(self.sim, request, "software"):
+                yield self.sim.timeout(self.config.rpc_ns)
+        yield self.sim.process(
+            self.port.erase_block(addr, request=request))
+
+    # -- blocking (queue depth 1) calls ---------------------------------
+    def read_page(self, addr: PhysAddr, software_path: bool = True,
+                  request: Optional[IORequest] = None):
+        """Read one flash page into host memory (DES generator).
+
+        ``software_path=False`` models a request issued by an already-
+        running kernel-bypass loop (no per-request syscall/driver cost) —
+        used by baselines that batch requests.
+        Returns the corrected page data.
+        """
+        request, owned = self._start(IOKind.READ, addr, self.page_size,
+                                     request)
+        start = self.sim.now
+        result = yield from self._read_flow(addr, software_path, request)
+        self.reads.add()
+        self.read_latency.record(self.sim.now - start)
+        if owned:
+            self.tracer.complete(request)
+        return result.data
+
+    def write_page(self, addr: PhysAddr, data: bytes,
+                   software_path: bool = True,
+                   request: Optional[IORequest] = None):
+        """Write one page from host memory to flash (DES generator)."""
+        request, owned = self._start(IOKind.WRITE, addr, len(data), request)
+        start = self.sim.now
+        yield from self._write_flow(addr, data, software_path, request)
         self.writes.add()
         self.write_latency.record(self.sim.now - start)
         if owned:
@@ -145,11 +196,101 @@ class HostInterface:
                     request: Optional[IORequest] = None):
         """Erase a block (driver-initiated; DES generator)."""
         request, owned = self._start(IOKind.ERASE, addr, 0, request)
-        with StageSpan(self.sim, request, "software"):
-            yield self.sim.process(
-                self.cpu.compute(self.config.software_request_ns))
-            yield self.sim.timeout(self.config.rpc_ns)
-        yield self.sim.process(
-            self.port.erase_block(addr, request=request))
+        yield from self._erase_flow(addr, True, request)
         if owned:
             self.tracer.complete(request)
+
+    # -- asynchronous batched submission --------------------------------
+    def submit(self, ops: Iterable, queue_depth: Optional[int] = None,
+               software_path: bool = False) -> RequestBatch:
+        """Issue a batch of operations asynchronously; returns at once.
+
+        ``ops`` is an iterable of ``(kind, addr)`` or
+        ``(kind, addr, data)`` tuples (``kind`` an
+        :class:`~repro.io.IOKind` or its string value).  The returned
+        :class:`~repro.io.RequestBatch` exposes a per-item completion
+        event (``item.event``, firing with the operation's result) and
+        a batch-level ``done`` event; completions arrive **out of
+        order** — whichever flow finishes first settles first, exactly
+        like the tagged interface underneath.
+
+        At most ``queue_depth`` operations (default: the interface's
+        :attr:`queue_depth`) are in flight at once; as each completes,
+        the pump launches the next, so a deep batch keeps the device's
+        queue full without the caller writing a driver loop.
+
+        ``software_path=False`` (the default) models the batched
+        kernel-bypass submission loop the paper's bandwidth
+        measurements use — no per-request syscall/driver charge; pass
+        ``True`` to pay the full per-request software path instead.
+        """
+        depth = self.queue_depth if queue_depth is None else queue_depth
+        if depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {depth}")
+        batch = RequestBatch(self.sim, tenant=self.tenant)
+        for op in ops:
+            kind, addr = op[0], op[1]
+            data = op[2] if len(op) > 2 else None
+            kind = IOKind(kind)
+            if kind is IOKind.WRITE and data is None:
+                raise ValueError(f"write to {addr} needs data")
+            size = (len(data) if data is not None
+                    else 0 if kind is IOKind.ERASE else self.page_size)
+            request, _ = self._start(kind, addr, size, None)
+            batch.add(kind, addr, data=data, request=request)
+        batch.seal()
+        if batch.items:
+            self.sim.process(self._pump(batch, depth, software_path),
+                             name=f"{self.tenant}-submit")
+        return batch
+
+    def _pump(self, batch: RequestBatch, depth: int,
+              software_path: bool):
+        """Keep up to ``depth`` of the batch's flows in flight."""
+        waiting = deque(batch.items)
+        pending: dict = {}
+
+        def launch():
+            while waiting and len(pending) < depth:
+                item = waiting.popleft()
+                proc = self.sim.process(
+                    self._item_flow(batch, item, software_path))
+                pending[proc] = item
+
+        launch()
+        while pending:
+            yield self.sim.any_of(list(pending))
+            for proc in [p for p in pending if p.triggered]:
+                del pending[proc]
+            launch()
+
+    def _item_flow(self, batch: RequestBatch, item, software_path: bool):
+        """Run one batch item end to end and settle it.
+
+        Failures are settled into the item (its event fails, carrying
+        the exception to any waiter) rather than raised — the pump must
+        keep the rest of the batch moving.
+        """
+        start = self.sim.now
+        result = None
+        error: Optional[BaseException] = None
+        try:
+            if item.kind is IOKind.READ:
+                page = yield from self._read_flow(item.addr, software_path,
+                                                  item.request)
+                result = page.data
+                self.reads.add()
+                self.read_latency.record(self.sim.now - start)
+            elif item.kind is IOKind.WRITE:
+                yield from self._write_flow(item.addr, item.data,
+                                            software_path, item.request)
+                self.writes.add()
+                self.write_latency.record(self.sim.now - start)
+            else:
+                yield from self._erase_flow(item.addr, software_path,
+                                            item.request)
+        except Exception as exc:
+            error = exc
+        if self.tracer is not None and error is None:
+            self.tracer.complete(item.request)
+        batch.item_done(item, result=result, error=error)

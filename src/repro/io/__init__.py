@@ -13,6 +13,10 @@ kept private bookkeeping; now they all speak :class:`IORequest`:
 * :class:`~repro.io.stage.Stage` / :class:`~repro.io.stage.StageSpan` —
   the protocol a pipeline element implements, and the timing span
   layers use to charge wall-clock to a named stage.
+* :class:`~repro.io.batch.RequestBatch` /
+  :class:`~repro.io.batch.BatchItem` — a parent span over
+  asynchronously-submitted child operations with per-child completion
+  events delivered out of order (the queue-depth host interface).
 * :class:`~repro.io.tracer.RequestTracer` — collects completed
   requests; attributes end-to-end latency to stages (reconciling with
   Figure 12's software/storage/transfer/network taxonomy) and keeps
@@ -24,6 +28,7 @@ kept private bookkeeping; now they all speak :class:`IORequest`:
   whose grant order is decided by a policy.
 """
 
+from .batch import BatchItem, RequestBatch
 from .request import IOKind, IORequest
 from .scheduler import (
     POLICIES,
@@ -39,14 +44,17 @@ from .scheduler import (
     bind_policy,
     make_policy,
 )
-from .stage import Pipeline, Stage, StageSpan
+from .stage import BatchStageSpan, Pipeline, Stage, StageSpan
 from .tracer import RequestTracer
 
 __all__ = [
     "IOKind",
     "IORequest",
+    "BatchItem",
+    "RequestBatch",
     "Stage",
     "StageSpan",
+    "BatchStageSpan",
     "Pipeline",
     "RequestTracer",
     "SchedulerPolicy",

@@ -1,0 +1,168 @@
+"""Batched submission: a parent span over child :class:`IORequest`\\ s.
+
+The paper's flash card only reaches its advertised bandwidth when many
+commands are in flight — per-command overhead (syscall, RPC, command
+setup) is amortized across a deep queue.  A :class:`RequestBatch` is the
+software-visible half of that contract: one *parent span* (issue time,
+completion time, tenant) over a set of child operations, each a
+:class:`BatchItem` carrying its own :class:`~repro.io.request.IORequest`
+and its own completion :class:`~repro.sim.Event`.
+
+The batch is deliberately *not* ordered on the completion side: the
+tagged hardware interface underneath completes commands out of order,
+and the batch records the order children actually finished in
+:attr:`RequestBatch.completion_order` while :attr:`RequestBatch.done`
+fires only when every child has settled.  Waiters can therefore consume
+completions as they happen (``yield item.event``), or the whole batch at
+once (``yield batch.done``).
+
+Issuers — :meth:`repro.host.iface.HostInterface.submit` today — own the
+pacing: how many children run concurrently is the *queue depth* of the
+submitting interface, not a property of the batch.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from ..sim import Event, Simulator
+from .request import IOKind, IORequest
+
+__all__ = ["BatchItem", "RequestBatch"]
+
+
+class BatchItem:
+    """One child operation of a :class:`RequestBatch`.
+
+    ``result`` carries the operation's return value (page data for
+    reads, ``None`` for writes/erases) once :attr:`event` has fired;
+    ``error`` carries the exception if the operation failed instead —
+    in that case :attr:`event` fails, so a waiter sees the same raise a
+    blocking call would have produced.
+    """
+
+    __slots__ = ("index", "kind", "addr", "data", "request", "event",
+                 "result", "error", "completed_ns")
+
+    def __init__(self, index: int, kind: IOKind, addr: Any,
+                 data: Optional[bytes], event: Event):
+        self.index = index
+        self.kind = kind
+        self.addr = addr
+        self.data = data
+        self.request: Optional[IORequest] = None
+        self.event = event
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self.completed_ns: Optional[int] = None
+
+    @property
+    def completed(self) -> bool:
+        return self.completed_ns is not None
+
+    def __repr__(self) -> str:
+        state = ("failed" if self.error is not None
+                 else "completed" if self.completed else "pending")
+        return (f"<BatchItem #{self.index} {self.kind.value} "
+                f"{self.addr} {state}>")
+
+
+class RequestBatch:
+    """A parent span over asynchronously-submitted child operations.
+
+    Build one with repeated :meth:`add` calls, then :meth:`seal` it —
+    after sealing, no more children may join and :attr:`done` fires as
+    soon as the last child settles (immediately, for an empty batch).
+    The issuing interface drives the children and reports each one back
+    through :meth:`item_done`.
+    """
+
+    def __init__(self, sim: Simulator, tenant: str = "default"):
+        self.sim = sim
+        self.tenant = tenant
+        self.items: List[BatchItem] = []
+        #: Fires (with the batch as value) when every child has settled.
+        self.done = Event(sim)
+        #: Children in the order they actually completed.
+        self.completion_order: List[BatchItem] = []
+        self.issued_ns = sim.now
+        self.completed_ns: Optional[int] = None
+        self._sealed = False
+
+    # -- building -------------------------------------------------------
+    def add(self, kind: "IOKind | str", addr: Any,
+            data: Optional[bytes] = None,
+            request: Optional[IORequest] = None) -> BatchItem:
+        """Append one child operation; returns its :class:`BatchItem`."""
+        if self._sealed:
+            raise ValueError("cannot add to a sealed batch")
+        item = BatchItem(len(self.items), IOKind(kind), addr, data,
+                         Event(self.sim))
+        item.request = request
+        self.items.append(item)
+        return item
+
+    def seal(self) -> "RequestBatch":
+        """Freeze membership; an empty sealed batch completes at once."""
+        if not self._sealed:
+            self._sealed = True
+            if not self.items:
+                self.completed_ns = self.sim.now
+                self.done.succeed(self)
+        return self
+
+    # -- completion -----------------------------------------------------
+    def item_done(self, item: BatchItem, result: Any = None,
+                  error: Optional[BaseException] = None) -> None:
+        """Settle one child: fire its event, record completion order."""
+        if item.completed:
+            raise ValueError(f"{item!r} already settled")
+        item.completed_ns = self.sim.now
+        item.result = result
+        item.error = error
+        self.completion_order.append(item)
+        if error is not None:
+            item.event.fail(error)
+        else:
+            item.event.succeed(result)
+        if self._sealed and self.remaining == 0:
+            self.completed_ns = self.sim.now
+            self.done.succeed(self)
+
+    # -- views ----------------------------------------------------------
+    @property
+    def sealed(self) -> bool:
+        return self._sealed
+
+    @property
+    def remaining(self) -> int:
+        """Children that have not settled yet."""
+        return sum(1 for item in self.items if not item.completed)
+
+    @property
+    def completed(self) -> bool:
+        return self.completed_ns is not None
+
+    @property
+    def errors(self) -> List[BatchItem]:
+        """Children that settled with an exception."""
+        return [item for item in self.items if item.error is not None]
+
+    @property
+    def total_ns(self) -> int:
+        """Parent-span duration; only meaningful once completed."""
+        if self.completed_ns is None:
+            return 0
+        return self.completed_ns - self.issued_ns
+
+    def results(self) -> List[Any]:
+        """Child results in *submission* order (None for failures)."""
+        return [item.result for item in self.items]
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __repr__(self) -> str:
+        return (f"<RequestBatch tenant={self.tenant!r} "
+                f"{len(self.items) - self.remaining}/{len(self.items)} "
+                f"done>")

@@ -56,14 +56,22 @@ class QueueEntry:
     grant consumes — bytes for splitter admission, 1 for unit-shaped
     resources.  Weighted fair share charges ``cost / weight`` of virtual
     time per grant; token buckets drain ``cost`` tokens.
+
+    ``pages`` is the entry's *batch width*: a coalesced multi-page
+    command occupies one grant slot but carries the merged pages'
+    combined cost, so fair-share and rate policies arbitrate the real
+    load while the capacity count still reflects commands.  Unit
+    entries leave it at 1.
     """
 
     __slots__ = ("seq", "tenant", "priority", "deadline_ns", "enqueued_ns",
-                 "payload", "cost")
+                 "payload", "cost", "pages")
 
     def __init__(self, seq: int, tenant: str, priority: int,
                  deadline_ns: Optional[int], enqueued_ns: int,
-                 payload: object, cost: int = 1):
+                 payload: object, cost: int = 1, pages: int = 1):
+        if pages < 1:
+            raise ValueError(f"pages must be >= 1, got {pages}")
         self.seq = seq
         self.tenant = tenant
         self.priority = priority
@@ -71,11 +79,12 @@ class QueueEntry:
         self.enqueued_ns = enqueued_ns
         self.payload = payload
         self.cost = cost
+        self.pages = pages
 
     def __repr__(self) -> str:
         return (f"<QueueEntry #{self.seq} tenant={self.tenant!r} "
                 f"prio={self.priority} deadline={self.deadline_ns} "
-                f"cost={self.cost}>")
+                f"cost={self.cost} pages={self.pages}>")
 
 
 class SchedulerPolicy:
@@ -494,6 +503,9 @@ class ScheduledResource:
         self.grants: Dict[str, int] = {}
         #: tenant -> total granted cost (bytes for I/O admission).
         self.served: Dict[str, int] = {}
+        #: tenant -> total pages granted (> grants when commands are
+        #: coalesced: one grant may carry several merged pages).
+        self.served_pages: Dict[str, int] = {}
 
     @property
     def available(self) -> int:
@@ -508,15 +520,18 @@ class ScheduledResource:
         self.policy.configure_tenant(tenant, **params)
 
     def request(self, tenant: str = "default", priority: int = 0,
-                deadline_ns: Optional[int] = None, cost: int = 1) -> Event:
+                deadline_ns: Optional[int] = None, cost: int = 1,
+                pages: int = 1) -> Event:
         """Event firing when the policy grants this waiter a unit.
 
         ``cost`` is the accounted quantity this grant consumes (bytes
-        for I/O admission; 1 for unit-shaped resources).
+        for I/O admission; 1 for unit-shaped resources).  ``pages`` is
+        the grant's batch width — how many coalesced pages ride on this
+        single slot (1 for ordinary requests).
         """
         event = Event(self.sim)
         entry = QueueEntry(next(self._seq), tenant, priority, deadline_ns,
-                           self.sim.now, event, cost=cost)
+                           self.sim.now, event, cost=cost, pages=pages)
         self.policy.push(entry)
         self._pump()
         return event
@@ -566,6 +581,8 @@ class ScheduledResource:
         self.grants[entry.tenant] = self.grants.get(entry.tenant, 0) + 1
         self.served[entry.tenant] = (
             self.served.get(entry.tenant, 0) + entry.cost)
+        self.served_pages[entry.tenant] = (
+            self.served_pages.get(entry.tenant, 0) + entry.pages)
         entry.payload.succeed()
 
     def use(self, hold_ns: int, tenant: str = "default"):

@@ -16,7 +16,7 @@ from typing import Iterable, List, Optional, Protocol, runtime_checkable
 from ..sim import Simulator
 from .request import IORequest
 
-__all__ = ["Stage", "StageSpan", "Pipeline"]
+__all__ = ["Stage", "StageSpan", "BatchStageSpan", "Pipeline"]
 
 
 @runtime_checkable
@@ -63,6 +63,44 @@ class StageSpan:
     def __exit__(self, exc_type, exc, tb) -> None:
         if self.request is not None:
             self.request.exit(self.stage, self.sim.now)
+
+
+class BatchStageSpan:
+    """Charge one ``with`` block's wall-clock to *every* request of a
+    coalesced command or batch.
+
+    Where a merged multi-page command holds several child requests
+    through one shared wait — the admission queue, the physical tag,
+    the command-setup overhead — each child spent that wall-clock time
+    in the stage, so each child's ledger is charged the full span.
+    That keeps per-child attribution exact (the
+    :class:`~repro.io.tracer.RequestTracer` still decomposes every
+    child's end-to-end latency into queueing vs. service) while the
+    *amortization* shows up where it belongs: N children share one
+    span instead of paying N sequential ones.
+
+    ``requests`` may contain ``None`` entries (untraced children); they
+    are skipped, so call sites never branch on tracing.
+    """
+
+    __slots__ = ("sim", "requests", "stage")
+
+    def __init__(self, sim: Simulator,
+                 requests: Iterable[Optional[IORequest]], stage: str):
+        self.sim = sim
+        self.requests = [r for r in requests if r is not None]
+        self.stage = stage
+
+    def __enter__(self) -> "BatchStageSpan":
+        now = self.sim.now
+        for request in self.requests:
+            request.enter(self.stage, now)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        now = self.sim.now
+        for request in self.requests:
+            request.exit(self.stage, now)
 
 
 class Pipeline:

@@ -83,6 +83,7 @@ def _tenants(draw):
         workers=draw(st.integers(1, 8)),
         addr_space=draw(st.one_of(st.none(), st.integers(1, 4096))),
         software_path=draw(st.booleans()),
+        pattern=draw(st.sampled_from(["random", "sequential"])),
         rng=draw(st.sampled_from(["per_worker", "shared"])),
         seed_base=draw(st.integers(0, 1000)),
         **qos)
@@ -97,6 +98,7 @@ workloads = st.one_of(st.none(), st.builds(
                      unique_by=lambda t: t.name).map(tuple),
     seed=st.integers(0, 2**16),
     drain=st.booleans(),
+    queue_depth=st.integers(1, 64),
 ))
 
 topologies = st.one_of(
@@ -123,6 +125,9 @@ scenarios = st.builds(
     splitter_policy=st.sampled_from([None, "fifo", "rr", "priority",
                                      "edf"]),
     splitter_in_flight=st.one_of(st.none(), st.integers(1, 64)),
+    coalesce=st.booleans(),
+    coalesce_max_pages=st.integers(2, 16),
+    host_queue_depth=st.integers(1, 64),
     trace=st.booleans(),
     workload=workloads,
 )
@@ -340,6 +345,39 @@ def test_workload_without_duration_rejected():
     with pytest.raises(SpecError):
         WorkloadSpec(duration_ns=0,
                      tenants=(TenantSpec("isp", access="isp"),))
+
+
+# ----------------------------------------------------------------------
+# batching / async submission knobs
+# ----------------------------------------------------------------------
+def test_non_positive_queue_depth_rejected():
+    with pytest.raises(SpecError, match="queue_depth"):
+        WorkloadSpec(duration_ns=1000, queue_depth=0,
+                     tenants=(TenantSpec("isp", access="isp"),))
+
+
+def test_unknown_pattern_rejected():
+    with pytest.raises(SpecError, match="pattern"):
+        TenantSpec("isp", access="isp", pattern="zipfian")
+
+
+def test_sequential_background_tenant_rejected():
+    with pytest.raises(SpecError, match="sequential"):
+        TenantSpec("gc", background=True, pattern="sequential")
+
+
+def test_coalescing_needs_room_to_merge():
+    with pytest.raises(SpecError, match="coalesce_max_pages"):
+        ScenarioSpec(coalesce=True, coalesce_max_pages=1)
+    with pytest.raises(SpecError, match="coalesce_max_pages"):
+        ScenarioSpec(coalesce_max_pages=0)
+    # max_pages 1 without coalescing is legal (the knob is inert).
+    ScenarioSpec(coalesce_max_pages=1)
+
+
+def test_non_positive_host_queue_depth_rejected():
+    with pytest.raises(SpecError, match="host_queue_depth"):
+        ScenarioSpec(host_queue_depth=0)
 
 
 # ----------------------------------------------------------------------

@@ -118,6 +118,19 @@ class TestStriping:
         with pytest.raises(ValueError):
             geo.striped(geo.pages_per_node)
 
+    def test_striped_index_inverts_striped(self, geo):
+        assert all(geo.striped_index(geo.striped(i)) == i
+                   for i in range(geo.pages_per_node))
+
+    @given(st.integers(0, DEFAULT_GEOMETRY.pages_per_node - 1))
+    def test_striped_index_property_default_geometry(self, index):
+        assert DEFAULT_GEOMETRY.striped_index(
+            DEFAULT_GEOMETRY.striped(index)) == index
+
+    def test_striped_index_validates(self, geo):
+        with pytest.raises(ValueError):
+            geo.striped_index(PhysAddr(bus=geo.buses_per_card))
+
     def test_iter_block_pages(self, geo):
         addr = PhysAddr(bus=1, chip=1, block=2, page=3)
         pages = list(geo.iter_block_pages(addr))

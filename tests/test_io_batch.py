@@ -1,0 +1,184 @@
+"""RequestBatch semantics + the host interface's queue-depth submit.
+
+Covers the asynchronous submission contract:
+
+* batch lifecycle — seal, per-item events, out-of-order completion
+  order, ``done`` firing once the last child settles;
+* ``HostInterface.submit`` — non-blocking issue, the queue-depth bound
+  actually limiting concurrency, results matching the blocking calls,
+  and errors settling into items instead of killing the batch;
+* the blocking calls staying thin queue-depth-1 wrappers: one-item
+  batches complete in exactly the same simulated time as
+  ``read_page``.
+"""
+
+import pytest
+
+from repro.api import BENCH_GEOMETRY, ScenarioSpec, Session
+from repro.io import IOKind, RequestBatch
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def session():
+    return Session(ScenarioSpec(name="batch-test",
+                                geometry=BENCH_GEOMETRY))
+
+
+def _addr(index, geometry=BENCH_GEOMETRY):
+    return geometry.striped(index)
+
+
+# ----------------------------------------------------------------------
+# RequestBatch
+# ----------------------------------------------------------------------
+def test_batch_lifecycle_and_completion_order():
+    sim = Simulator()
+    batch = RequestBatch(sim, tenant="t")
+    first = batch.add("read", "a")
+    second = batch.add("read", "b")
+    batch.seal()
+    assert not batch.completed and batch.remaining == 2
+    with pytest.raises(ValueError):
+        batch.add("read", "c")
+
+    batch.item_done(second, result="b-data")
+    assert second.completed and batch.remaining == 1
+    assert not batch.done.triggered
+    batch.item_done(first, result="a-data")
+    assert batch.done.triggered
+    assert batch.completion_order == [second, first]
+    assert batch.results() == ["a-data", "b-data"]
+    with pytest.raises(ValueError):
+        batch.item_done(first)
+
+
+def test_empty_sealed_batch_completes_immediately():
+    sim = Simulator()
+    batch = RequestBatch(sim).seal()
+    assert batch.completed and batch.done.triggered
+
+
+def test_batch_error_settles_item_and_still_finishes():
+    sim = Simulator()
+    batch = RequestBatch(sim)
+    item = batch.add("read", "a")
+    batch.seal()
+    boom = RuntimeError("boom")
+    batch.item_done(item, error=boom)
+    assert batch.errors == [item]
+    assert item.event.triggered and not item.event.ok
+    assert batch.done.triggered
+
+
+# ----------------------------------------------------------------------
+# HostInterface.submit
+# ----------------------------------------------------------------------
+def test_submit_returns_without_blocking_and_completes(session):
+    sim, node = session.sim, session.node
+    node.device.store.program(_addr(0), b"zero")
+    node.device.store.program(_addr(1), b"one")
+    batch = node.host.submit([("read", _addr(0)), ("read", _addr(1))])
+    assert sim.now == 0 and not batch.completed, "submit must not block"
+    sim.run()
+    assert batch.completed
+    assert batch.results()[0].startswith(b"zero")
+    assert batch.results()[1].startswith(b"one")
+    assert len(batch.completion_order) == 2
+
+
+def test_submit_completions_arrive_out_of_order(session):
+    sim, node = session.sim, session.node
+    # Items 0 and 1 address the same chip (serialized array reads);
+    # item 2 rides a free chip, so it must complete before item 1 even
+    # though it was submitted after it.
+    n_units = (BENCH_GEOMETRY.cards_per_node
+               * BENCH_GEOMETRY.buses_per_card
+               * BENCH_GEOMETRY.chips_per_bus)
+    ops = [("read", _addr(0)), ("read", _addr(n_units)),
+           ("read", _addr(1))]
+    batch = node.host.submit(ops, queue_depth=3)
+    sim.run()
+    assert batch.completed
+    order = [item.index for item in batch.completion_order]
+    assert order.index(2) < order.index(1), (
+        f"the uncontended page should finish first, got order {order}")
+    assert len(order) == 3
+
+
+def test_submit_respects_queue_depth(session):
+    sim, node = session.sim, session.node
+    seen = []
+
+    def probe(sim=sim):
+        while True:
+            seen.append(node.host.read_buffers.in_use)
+            yield sim.timeout(5_000)
+
+    sim.process(probe())
+    batch = node.host.submit([("read", _addr(i)) for i in range(16)],
+                             queue_depth=3)
+    sim.run(until=5_000_000)
+    assert batch.completed
+    assert max(seen) <= 3, (
+        f"queue depth 3 must bound in-flight reads, saw {max(seen)}")
+
+
+def test_submit_single_read_matches_blocking_wrapper():
+    spec = ScenarioSpec(name="wrapper-eq", geometry=BENCH_GEOMETRY)
+    blocking = Session(spec)
+    done = []
+
+    def reader(sim=blocking.sim):
+        yield sim.process(
+            blocking.node.host.read_page(_addr(5), software_path=False))
+        done.append(sim.now)
+
+    blocking.sim.process(reader())
+    blocking.sim.run()
+
+    batched = Session(spec)
+    batch = batched.node.host.submit([("read", _addr(5))], queue_depth=1)
+    batched.sim.run()
+    assert [batch.items[0].completed_ns] == done, (
+        "a one-item batch must cost exactly one blocking read")
+
+
+def test_submit_mixed_kinds_and_write_needs_data(session):
+    sim, node = session.sim, session.node
+    page = b"x" * BENCH_GEOMETRY.page_size
+    with pytest.raises(ValueError, match="needs data"):
+        node.host.submit([("write", _addr(0))])
+    batch = node.host.submit([
+        ("write", _addr(0), page),
+        ("read", _addr(0)),
+        (IOKind.ERASE, _addr(64).block_addr()),
+    ], queue_depth=1)  # depth 1: write lands before the read
+    sim.run()
+    assert batch.completed and not batch.errors
+    assert batch.results()[1] == page
+
+
+def test_submit_error_is_delivered_not_raised(session):
+    sim, node = session.sim, session.node
+    bad = _addr(7)
+    node.device.badblocks.mark_bad(bad)
+    batch = node.host.submit([("read", bad), ("read", _addr(3))])
+    sim.run()
+    assert batch.completed
+    assert [item.index for item in batch.errors] == [0]
+    assert batch.items[1].error is None, (
+        "one bad page must not poison the rest of the batch")
+
+
+def test_submit_zero_depth_rejected(session):
+    with pytest.raises(ValueError):
+        session.node.host.submit([("read", _addr(0))], queue_depth=0)
+
+
+def test_tracer_counts_batch_completions(session):
+    sim, node = session.sim, session.node
+    batch = node.host.submit([("read", _addr(i)) for i in range(4)])
+    sim.run()
+    assert batch.completed
+    assert session.tracer.tenant_completed.get("host") == 4

@@ -18,6 +18,7 @@ import pytest
 from repro.analysis.qos import qos_scenario
 from repro.api import BENCH_GEOMETRY, Session
 from repro.experiments.fig13 import isp_multi_spec
+from repro.experiments.pipeline import batching_spec, qd_sweep_spec
 from repro.experiments.qos import qos_cluster_scenario, qos_gc_scenario
 
 
@@ -58,3 +59,35 @@ def test_fig13_scenario_is_deterministic():
     spec = _shorten(isp_multi_spec(2, 2), 400_000)
     first, second = _run_twice(spec)
     assert first == second
+
+
+@pytest.mark.parametrize("queue_depth", [1, 16, 64])
+def test_qd_sweep_scenario_is_deterministic(queue_depth):
+    # The async submission pump (AnyOf windows, out-of-order batch
+    # completions) must not introduce ordering nondeterminism.
+    spec = _shorten(qd_sweep_spec(queue_depth), 1_000_000)
+    first, second = _run_twice(spec)
+    assert first == second
+
+
+@pytest.mark.parametrize("pattern,coalesce", [
+    ("sequential", True), ("sequential", False), ("random", True)])
+def test_batching_scenario_is_deterministic(pattern, coalesce):
+    # The coalescer's staging queue, dispatcher gate and merged-command
+    # fan-out must replay identically.
+    spec = _shorten(batching_spec(pattern, coalesce), 1_000_000)
+    first, second = _run_twice(spec)
+    assert first == second
+
+
+def test_random_traffic_is_untouched_by_coalescing():
+    # Coalescing that cannot merge must not change *any* measured
+    # value: the random scenario's tenant stats are identical on/off
+    # (only the spec echo and coalescing counters may differ).
+    on = Session(_shorten(batching_spec("random", True),
+                          1_000_000)).run()
+    off = Session(_shorten(batching_spec("random", False),
+                           1_000_000)).run()
+    assert on.tenant_stats == off.tenant_stats
+    assert on.stage_stats == off.stage_stats
+    assert (on.metrics["completions"] == off.metrics["completions"])
