@@ -134,10 +134,51 @@ def cmd_run(args) -> int:
 
 
 #: The fixed experiment set every ``repro bench`` snapshot covers:
-#: the latency and bandwidth figures plus the async-path extensions —
-#: small enough to run on every commit, broad enough that a hot-path
-#: regression in any layer moves at least one number.
-BENCH_SET = ("fig12", "fig13", "qd_sweep", "batching")
+#: the latency and bandwidth figures, the async-path extensions, and
+#: the logical-volume write path — small enough to run on every
+#: commit, broad enough that a hot-path regression in any layer moves
+#: at least one number.
+BENCH_SET = ("fig12", "fig13", "qd_sweep", "batching",
+             "volume_scan", "write_burst", "gc_steady")
+
+
+def _write_section(results: dict) -> dict:
+    """The snapshot's ``write`` section: the write path's key numbers.
+
+    Extracted from the volume experiments when the bench set ran them —
+    sequential program-coalescing bandwidth/speedup, the logical-scan
+    bandwidth through the FTL map, and steady-state write
+    amplification per fill level.
+    """
+    section: dict = {}
+    burst = results.get("write_burst")
+    if burst is not None:
+        scenarios = burst.metrics["scenarios"]
+        section["burst"] = {
+            "sequential_on_gbs":
+                scenarios["sequential-on"]["bandwidth_gbs"],
+            "sequential_off_gbs":
+                scenarios["sequential-off"]["bandwidth_gbs"],
+            "speedup": burst.metrics["speedup"],
+            "pages_per_command":
+                scenarios["sequential-on"]["write_coalescing"]
+                ["pages_per_command"],
+        }
+    scan = results.get("volume_scan")
+    if scan is not None:
+        section["scan"] = {
+            "scan_on_gbs":
+                scan.metrics["scenarios"]["scan-on"]["bandwidth_gbs"],
+            "scan_vs_reference": scan.metrics["scan_vs_reference"],
+        }
+    gc = results.get("gc_steady")
+    if gc is not None:
+        section["gc"] = {
+            policy: {str(fill): stats["write_amplification"]
+                     for fill, stats in by_fill.items()}
+            for policy, by_fill in gc.metrics["policies"].items()
+        }
+    return section
 
 
 def cmd_bench(args) -> int:
@@ -150,23 +191,28 @@ def cmd_bench(args) -> int:
 
     experiments = list(args.experiments) or list(BENCH_SET)
     snapshot = {
-        "schema": 1,
+        "schema": 2,
         "version": version,
         "python": platform.python_version(),
         "experiments": {},
     }
     total = 0.0
+    results = {}
     for exp_id in experiments:
         start = time.perf_counter()
         result = run_experiment(exp_id)
         wall = time.perf_counter() - start
         total += wall
+        results[exp_id] = result
         snapshot["experiments"][exp_id] = {
             "wall_clock_s": round(wall, 3),
             "simulated_ns": result.elapsed_ns,
             "metrics": result.to_dict()["metrics"],
         }
         print(f"{exp_id:12s} {wall:7.2f}s wall")
+    write_section = _write_section(results)
+    if write_section:
+        snapshot["write"] = write_section
     snapshot["total_wall_clock_s"] = round(total, 3)
     with open(args.out, "w") as fh:
         json.dump(snapshot, fh, indent=2)

@@ -46,6 +46,7 @@ from .spec import (
     SpecError,
     TenantSpec,
     TopologySpec,
+    VolumeSpec,
     WorkloadSpec,
 )
 
@@ -57,6 +58,7 @@ __all__ = [
     "WorkloadSpec",
     "TenantSpec",
     "TopologySpec",
+    "VolumeSpec",
     "SpecError",
     "Session",
     "drive_pipelined",

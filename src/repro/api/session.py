@@ -21,8 +21,10 @@ from typing import Callable, Dict, List, Optional
 
 from ..core import BlueDBMCluster, BlueDBMNode
 from ..flash import PhysAddr
+from ..host import HostInterface
 from ..io import RequestTracer
 from ..sim import Simulator
+from ..volume import LogicalVolume
 from .result import RunResult
 from .spec import ScenarioSpec, SpecError, TenantSpec
 
@@ -77,8 +79,69 @@ class Session:
             self.nodes = self.cluster.nodes
         self._gc_ports: Dict[str, object] = {}
         self._gc_units = itertools.count()
+        #: node id -> its FTL-backed logical volume (built on demand).
+        self.volumes: Dict[int, LogicalVolume] = {}
+        #: volume tenant name -> its dedicated HostInterface.
+        self._volume_ifaces: Dict[str, HostInterface] = {}
+        #: volume tenant name -> (LBA window start, size).
+        self._volume_windows: Dict[str, tuple] = {}
+        self._page_fill = bytes(spec.geometry.page_size)
+        #: tenant name -> physical indices its raw writers have
+        #: programmed (NAND no-reprogram bookkeeping for write mixes).
+        self._written: Dict[str, set] = {}
         if spec.workload is not None:
             self._configure_qos()
+            self._build_volumes()
+
+    def _build_volumes(self) -> None:
+        """Attach logical volumes and per-tenant host interfaces.
+
+        Each node with volume tenants gets one
+        :class:`~repro.volume.LogicalVolume` whose GC relocation
+        traffic rides a dedicated low-priority splitter port (admission
+        label ``volume-gc``, QoS from the
+        :class:`~repro.api.spec.VolumeSpec`).  Each volume *tenant*
+        gets its own splitter port — named and scheduled after the
+        tenant, exactly like background GC tenants — driven through a
+        private :class:`~repro.host.HostInterface`, so volume traffic
+        pays the full host software/PCIe path and is arbitrated and
+        traced under the tenant's identity.
+        """
+        spec = self.spec
+        if spec.volume is None:
+            return
+        windows = spec.volume_windows()
+        self._volume_windows = windows
+        volume_tenants = [t for t in spec.workload.tenants
+                          if t.access == "volume"]
+        for tenant in volume_tenants:
+            node = self.nodes[tenant.node]
+            volume = self.volumes.get(tenant.node)
+            if volume is None:
+                gc_port = node.splitter.add_port(
+                    tenant="volume-gc", priority=spec.volume.gc_priority)
+                node.splitter.configure_tenant(
+                    "volume-gc", weight=spec.volume.gc_weight,
+                    rate_mbps=spec.volume.gc_rate_mbps,
+                    burst_kb=spec.volume.gc_burst_kb)
+                volume = LogicalVolume(
+                    self.sim, node.device, gc_port,
+                    overprovision=spec.volume.overprovision,
+                    allocation=spec.volume.allocation,
+                    gc_low_watermark=spec.volume.gc_low_watermark,
+                    name=f"volume-n{tenant.node}")
+                self.volumes[tenant.node] = volume
+            port = node.splitter.add_port(tenant=tenant.name,
+                                          **tenant.qos_kwargs())
+            self._volume_ifaces[tenant.name] = HostInterface(
+                self.sim, node.host_config, node.cpu, node.pcie, port,
+                spec.geometry.page_size, tracer=self.tracer,
+                tenant=tenant.name, queue_depth=spec.host_queue_depth)
+            start, size = windows[tenant.name]
+            volume.register_owner(start, size, tenant.name)
+            prefill = int(spec.volume.fill * size)
+            if prefill:
+                volume.prefill(start, prefill)
 
     def _configure_qos(self) -> None:
         """Program per-tenant admission QoS; attach background ports.
@@ -152,6 +215,17 @@ class Session:
         return (geometry.pages_per_node if tenant.addr_space is None
                 else min(tenant.addr_space, geometry.pages_per_node))
 
+    def _window(self, tenant: TenantSpec) -> tuple:
+        """The tenant's (start, size) address window.
+
+        Volume tenants own a slice of their node volume's logical
+        address space; everything else addresses the physical striped
+        space from zero.
+        """
+        if tenant.access == "volume":
+            return self._volume_windows[tenant.name]
+        return (0, self._addr_space(tenant))
+
     @staticmethod
     def _indices(tenant: TenantSpec, rng: random.Random, wid: int,
                  addr_space: int):
@@ -172,14 +246,64 @@ class Session:
             while True:
                 yield rng.randrange(addr_space)
 
+    def _op_stream(self, tenant: TenantSpec, rng: random.Random,
+                   wid: int, start: int, size: int):
+        """The worker's endless ``(kind, address)`` operation stream.
+
+        Pure read tenants (``write_fraction=0``) draw exactly the
+        index sequence the read-only workers always drew — no extra
+        RNG consumption, so existing scenarios replay bit-identically.
+        Mixed tenants draw one extra uniform variate per op to pick
+        read vs write.  *Raw* (non-volume) writers program physical
+        pages in place, and NAND forbids reprogramming without an
+        erase — so every written index is tracked: random writers
+        redraw collisions, and once the window is exhausted (or a
+        sequential walk reaches a written page) the stream raises a
+        clear error instead of livelocking on redraws or dying later
+        inside a chip with an opaque ``ProgramError``.  Volume writers
+        never collide — the FTL remaps every write out of place.
+        """
+        indices = self._indices(tenant, rng, wid, size)
+        if tenant.write_fraction <= 0.0:
+            for index in indices:
+                yield ("read", start + index)
+            return
+        raw = tenant.access != "volume"
+        # Shared across the tenant's workers: raw-write collisions are
+        # physical, not per-worker.
+        written = self._written.setdefault(tenant.name, set())
+        for index in indices:
+            write = rng.random() < tenant.write_fraction
+            if write and raw:
+                if len(written) >= size:
+                    raise SpecError(
+                        f"tenant {tenant.name!r} wrote all {size} "
+                        f"pages of its address space; raw writes "
+                        f"cannot reprogram without an erase — shorten "
+                        f"the window, widen addr_space, or use "
+                        f"access='volume'")
+                if tenant.pattern == "random":
+                    while index in written:
+                        index = rng.randrange(size)
+                elif index in written:
+                    raise SpecError(
+                        f"tenant {tenant.name!r}: sequential raw write "
+                        f"walk reached already-written page {index} "
+                        f"(window wrap or worker overlap); raw writes "
+                        f"cannot reprogram without an erase")
+                written.add(index)
+            yield ("write" if write else "read", start + index)
+
     def _worker(self, tenant: TenantSpec, rng: random.Random, wid: int,
                 issue: Callable, deadline: int, counters: dict):
-        """One synchronous closed-loop reader (queue depth 1): issue a
-        page read, wait for it, repeat until the window closes."""
+        """One synchronous closed-loop worker (queue depth 1): issue a
+        page operation, wait for it, repeat until the window closes."""
         sim = self.sim
-        indices = self._indices(tenant, rng, wid, self._addr_space(tenant))
+        start, size = self._window(tenant)
+        ops = self._op_stream(tenant, rng, wid, start, size)
         while sim.now < deadline:
-            yield from issue(next(indices))
+            kind, index = next(ops)
+            yield from issue(kind, index)
             counters[tenant.name] += 1
 
     def _async_worker(self, tenant: TenantSpec, rng: random.Random,
@@ -200,39 +324,65 @@ class Session:
         """
         sim = self.sim
         name = tenant.name
-        indices = self._indices(tenant, rng, wid, self._addr_space(tenant))
+        start, size = self._window(tenant)
+        ops_stream = self._op_stream(tenant, rng, wid, start, size)
 
         def counted(event) -> None:
             counters[name] += 1
 
-        if tenant.access == "host":
+        if tenant.access in ("host", "volume"):
             node = self.nodes[tenant.node]
             geometry = self.spec.geometry
+            if tenant.access == "volume":
+                iface = self._volume_ifaces[tenant.name]
+                volume = self.volumes[tenant.node]
+            else:
+                iface, volume = node.host, None
+            irq_coalesce = self.spec.irq_coalesce
 
             def refill(count: int) -> List:
-                ops = [("read", geometry.striped(next(indices),
-                                                 node=tenant.node))
-                       for _ in range(count)]
-                batch = node.host.submit(
+                ops = []
+                for _ in range(count):
+                    kind, index = next(ops_stream)
+                    addr = (index if volume is not None
+                            else geometry.striped(index,
+                                                  node=tenant.node))
+                    if kind == "write":
+                        ops.append(("write", addr, self._page_fill))
+                    else:
+                        ops.append(("read", addr))
+                batch = iface.submit(
                     ops, queue_depth=count,
-                    software_path=tenant.software_path)
+                    software_path=tenant.software_path,
+                    volume=volume, irq_coalesce=irq_coalesce)
                 for item in batch.items:
                     item.event.callbacks.append(counted)
                 return list(batch.items)
 
+            # Volume tenants refill in coalescible chunks: the PCIe link
+            # spaces their completions out one page at a time, so
+            # refilling per completion would feed the coalescer
+            # unmergeable singletons.  Waiting for a command's worth of
+            # drained window keeps replacement runs stripe-adjacent.
+            # (The floor is driver policy, deliberately independent of
+            # spec.coalesce, so on/off comparisons share one driver.)
+            refill_floor = (min(depth, self.spec.coalesce_max_pages)
+                            if volume is not None else 1)
             pending_items = refill(depth)
             while sim.now < deadline:
                 yield sim.any_of([item.event for item in pending_items])
                 pending_items = [item for item in pending_items
                                  if not item.completed]
-                if sim.now < deadline:
-                    pending_items.extend(refill(depth
-                                                - len(pending_items)))
+                drained = depth - len(pending_items)
+                if sim.now < deadline and (drained >= refill_floor
+                                           or not pending_items):
+                    pending_items.extend(refill(drained))
             return
         pending: List = []
         while sim.now < deadline:
             while len(pending) < depth:
-                proc = sim.process(issue(next(indices)))
+                kind, index = next(ops_stream)
+                proc = sim.process(issue(kind, index))
                 proc.callbacks.append(counted)
                 pending.append(proc)
             yield sim.any_of(pending)
@@ -295,28 +445,52 @@ class Session:
             counters[tenant.name] += 1
 
     def _issuer(self, tenant: TenantSpec) -> Callable:
-        """The access-path generator for one tenant's reads."""
+        """The access-path generator for one tenant's operations.
+
+        Issuers take ``(kind, index)`` — ``kind`` is ``"read"`` or
+        ``"write"`` (only the host and volume paths carry write mixes;
+        spec validation enforces it), ``index`` a striped physical
+        index or, for volume tenants, a logical page number.
+        """
         sim = self.sim
         geometry = self.spec.geometry
         node = self.nodes[tenant.node]
+        software_path = tenant.software_path
         if tenant.access == "remote_isp":
             cluster, src, target = self.cluster, tenant.node, tenant.target
 
-            def issue(index):
+            def issue(kind, index):
                 addr = geometry.striped(index, node=target)
                 yield from cluster.isp_remote_flash(src, addr)
         elif tenant.access == "host":
-            software_path = tenant.software_path
+            page_fill = self._page_fill
 
-            def issue(index):
+            def issue(kind, index):
                 addr = geometry.striped(index, node=tenant.node)
-                yield sim.process(
-                    node.host_read(addr, software_path=software_path))
+                if kind == "write":
+                    yield sim.process(node.host.write_page(
+                        addr, page_fill, software_path=software_path))
+                else:
+                    yield sim.process(
+                        node.host_read(addr, software_path=software_path))
+        elif tenant.access == "volume":
+            iface = self._volume_ifaces[tenant.name]
+            volume = self.volumes[tenant.node]
+            page_fill = self._page_fill
+
+            def issue(kind, index):
+                if kind == "write":
+                    yield sim.process(iface.write_lpn(
+                        volume, index, page_fill,
+                        software_path=software_path))
+                else:
+                    yield sim.process(iface.read_lpn(
+                        volume, index, software_path=software_path))
         else:
             read = node.isp_read if tenant.access == "isp" \
                 else node.net_read
 
-            def issue(index):
+            def issue(kind, index):
                 addr = geometry.striped(index, node=tenant.node)
                 yield sim.process(read(addr))
         return issue
@@ -344,6 +518,18 @@ class Session:
             result.metrics["coalescing"] = {
                 node.node_id: node.splitter.coalescing_stats()
                 for node in self.nodes}
+            result.metrics["write_coalescing"] = {
+                node.node_id: node.splitter.write_coalescing_stats()
+                for node in self.nodes}
+        if self.volumes:
+            result.metrics["volume"] = {
+                node_id: volume.stats()
+                for node_id, volume in sorted(self.volumes.items())}
+            result.metrics["write_amplification"] = {
+                tenant.name: self.volumes[tenant.node]
+                .write_amplification(tenant.name)
+                for tenant in self.spec.workload.tenants
+                if tenant.access == "volume"}
         return result
 
     def _splitter_bandwidth(self, window: int) -> dict:

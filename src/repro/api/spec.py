@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
 from ..flash import FlashGeometry, FlashTiming
+from ..ftl import ALLOCATION_MODES
 from ..host import HostConfig
 from ..io import POLICIES
 from ..network import (
@@ -42,6 +43,7 @@ __all__ = [
     "THROTTLED_TIMING",
     "TopologySpec",
     "TenantSpec",
+    "VolumeSpec",
     "WorkloadSpec",
     "ScenarioSpec",
     "SpecError",
@@ -189,13 +191,89 @@ class TopologySpec:
 
 
 # ----------------------------------------------------------------------
+# volume
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class VolumeSpec:
+    """One FTL-backed :class:`~repro.volume.LogicalVolume` per node.
+
+    Tenants with ``access="volume"`` address *logical* pages; the
+    volume's host-side FTL maps them onto physical flash.
+
+    * ``overprovision`` — physical capacity held back as GC spare
+      (logical capacity is ``pages_per_node * (1 - overprovision)``);
+    * ``allocation`` — ``sequential`` (stripe-adjacent write points,
+      the mode that makes logically-sequential I/O coalescible) or
+      ``striped`` (the allocator's plain chip rotation);
+    * ``fill`` — fraction of each volume tenant's LBA window mapped
+      before the workload starts (functional prefill: real physical
+      locations, zero simulated time) — the steady-state utilization
+      knob the ``gc_steady`` experiment sweeps;
+    * ``gc_low_watermark`` — free-block floor below which writes
+      trigger greedy GC;
+    * ``gc_priority`` / ``gc_weight`` / ``gc_rate_mbps`` /
+      ``gc_burst_kb`` — QoS identity of the dedicated splitter port GC
+      relocation traffic rides (the PR-3 background-GC port pattern,
+      admission label ``volume-gc``).
+    """
+
+    overprovision: float = 0.25
+    allocation: str = "sequential"
+    fill: float = 0.0
+    gc_low_watermark: int = 2
+    gc_priority: int = 0
+    gc_weight: Optional[float] = None
+    gc_rate_mbps: Optional[float] = None
+    gc_burst_kb: Optional[float] = None
+
+    def __post_init__(self):
+        if not 0.0 <= self.overprovision < 1.0:
+            raise SpecError(f"volume overprovision must be in [0, 1), "
+                            f"got {self.overprovision}")
+        if self.allocation not in ALLOCATION_MODES:
+            raise SpecError(
+                f"unknown volume allocation mode {self.allocation!r}; "
+                f"expected one of {ALLOCATION_MODES}")
+        if not 0.0 <= self.fill <= 1.0:
+            raise SpecError(f"volume fill must be in [0, 1], "
+                            f"got {self.fill}")
+        if self.gc_low_watermark < 1:
+            raise SpecError("volume gc_low_watermark must be >= 1")
+        if self.gc_weight is not None and self.gc_weight <= 0:
+            raise SpecError(f"volume gc_weight must be > 0, "
+                            f"got {self.gc_weight}")
+        if self.gc_rate_mbps is not None and self.gc_rate_mbps <= 0:
+            raise SpecError(f"volume gc_rate_mbps must be > 0, "
+                            f"got {self.gc_rate_mbps}")
+        if self.gc_burst_kb is not None:
+            if self.gc_burst_kb <= 0:
+                raise SpecError(f"volume gc_burst_kb must be > 0, "
+                                f"got {self.gc_burst_kb}")
+            if self.gc_rate_mbps is None:
+                raise SpecError("volume gc_burst_kb without gc_rate_mbps "
+                                "has no meaning (a burst caps a rate)")
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "VolumeSpec":
+        return cls(**data)
+
+
+# ----------------------------------------------------------------------
 # workload
 # ----------------------------------------------------------------------
 #: The splitter's fixed ports a tenant can drive locally, the
-#: cluster-level remote path (ISP-F over the integrated network), and
+#: cluster-level remote path (ISP-F over the integrated network),
+#: ``volume`` — logical-block I/O through the node's FTL-backed
+#: :class:`~repro.volume.LogicalVolume` on a dedicated port — and
 #: ``gc`` — background GC/wear-leveling traffic injected at the
 #: splitter through a dedicated low-priority port.
-_ACCESS_KINDS = ("isp", "host", "net", "remote_isp", "gc")
+_ACCESS_KINDS = ("isp", "host", "net", "remote_isp", "volume", "gc")
+#: Access kinds whose traffic rides the host write path and may
+#: therefore carry a write mix (``write_fraction`` > 0).
+_WRITE_CAPABLE = ("host", "volume")
 #: Splitter port names that accept per-tenant QoS parameters.
 _QOS_PORTS = ("isp", "host", "net")
 _RNG_MODES = ("per_worker", "shared")
@@ -246,6 +324,7 @@ class TenantSpec:
     addr_space: Optional[int] = None
     software_path: bool = True
     pattern: str = "random"
+    write_fraction: float = 0.0
     rng: str = "per_worker"
     seed_base: int = 0
     max_in_flight: Optional[int] = None
@@ -299,6 +378,22 @@ class TenantSpec:
             raise SpecError(
                 f"tenant {self.name!r}: background GC traffic picks its "
                 f"own victims; pattern='sequential' does not apply")
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise SpecError(
+                f"tenant {self.name!r}: write_fraction must be in "
+                f"[0, 1], got {self.write_fraction}")
+        if self.write_fraction > 0 and self.access not in _WRITE_CAPABLE:
+            raise SpecError(
+                f"tenant {self.name!r}: write mixes ride the host write "
+                f"path; access must be one of {_WRITE_CAPABLE} "
+                f"(got {self.access!r})")
+        if self.access == "volume" and self.name in _QOS_PORTS:
+            # A volume tenant owns a dedicated splitter port labeled by
+            # its name; a fixed-port name would merge its scheduling
+            # and accounting with unrelated traffic on that port.
+            raise SpecError(
+                f"volume tenant cannot take a fixed splitter port name "
+                f"{_QOS_PORTS}; got {self.name!r}")
         if self.addr_space is not None and self.addr_space < 1:
             raise SpecError(f"tenant {self.name!r}: addr_space must be "
                             f">= 1")
@@ -327,12 +422,13 @@ class TenantSpec:
         if self.access == "remote_isp" and self.target is None:
             raise SpecError(f"tenant {self.name!r}: remote_isp access "
                             f"needs a target node")
-        if self.has_qos and not self.background and (
+        if self.has_qos and not self.background \
+                and self.access != "volume" and (
                 self.name not in _QOS_PORTS or self.access != self.name):
             # QoS parameters program the splitter port the tenant's own
             # traffic uses; a name/access mismatch would silently boost
-            # an unrelated port.  Background tenants are exempt: they
-            # get a dedicated port named after them.
+            # an unrelated port.  Background and volume tenants are
+            # exempt: they get a dedicated port named after them.
             raise SpecError(
                 f"tenant {self.name!r} sets splitter QoS parameters, so "
                 f"it must be named after — and access — one of the "
@@ -367,7 +463,7 @@ class TenantSpec:
         """
         if self.access == "remote_isp":
             return f"isp-n{self.node}"
-        if self.background:
+        if self.background or self.access == "volume":
             return self.name
         return self.access
 
@@ -482,7 +578,9 @@ class ScenarioSpec:
     coalesce: bool = False
     coalesce_max_pages: int = 8
     host_queue_depth: int = 8
+    irq_coalesce: int = 1
     trace: bool = True
+    volume: Optional[VolumeSpec] = None
     workload: Optional[WorkloadSpec] = None
 
     def __post_init__(self):
@@ -498,6 +596,9 @@ class ScenarioSpec:
         if isinstance(self.topology, dict):
             object.__setattr__(self, "topology",
                                TopologySpec.from_dict(self.topology))
+        if isinstance(self.volume, dict):
+            object.__setattr__(self, "volume",
+                               VolumeSpec.from_dict(self.volume))
         if isinstance(self.workload, dict):
             object.__setattr__(self, "workload",
                                WorkloadSpec.from_dict(self.workload))
@@ -536,6 +637,9 @@ class ScenarioSpec:
         if self.host_queue_depth < 1:
             raise SpecError(f"host_queue_depth must be >= 1, "
                             f"got {self.host_queue_depth}")
+        if self.irq_coalesce < 1:
+            raise SpecError(f"irq_coalesce must be >= 1, "
+                            f"got {self.irq_coalesce}")
         if self.workload is not None:
             policy_labels: Dict[str, str] = {}
             for tenant in self.workload.tenants:
@@ -575,6 +679,17 @@ class ScenarioSpec:
                             f"program weight/rate QoS under the "
                             f"admission label {label!r}")
                     policy_labels[label] = tenant.name
+            volume_tenants = [t for t in self.workload.tenants
+                              if t.access == "volume"]
+            if volume_tenants and self.volume is None:
+                names = [t.name for t in volume_tenants]
+                raise SpecError(
+                    f"tenants {names} use access='volume' but the "
+                    f"scenario declares no VolumeSpec")
+            if volume_tenants:
+                # Raises SpecError if the LBA windows overflow the
+                # volume's logical capacity on any node.
+                self.volume_windows()
             # Each background (GC) worker claims a private scratch chip.
             gc_workers = sum(t.workers for t in self.workload.tenants
                              if t.background)
@@ -588,6 +703,49 @@ class ScenarioSpec:
                     f"geometry has {n_units}")
 
     # -- derived ---------------------------------------------------------
+    def volume_windows(self) -> Dict[str, Tuple[int, int]]:
+        """Per-tenant ``(start, size)`` LBA windows on the node volumes.
+
+        Volume tenants on one node partition that node's logical
+        address space: explicit ``addr_space`` values are honored,
+        tenants without one split the remaining capacity evenly.
+        Raises :class:`SpecError` when the windows don't fit — at
+        construction, never mid-simulation.
+        """
+        if self.workload is None or self.volume is None:
+            return {}
+        logical = int(self.geometry.pages_per_node
+                      * (1.0 - self.volume.overprovision))
+        out: Dict[str, Tuple[int, int]] = {}
+        by_node: Dict[int, list] = {}
+        for tenant in self.workload.tenants:
+            if tenant.access == "volume":
+                by_node.setdefault(tenant.node, []).append(tenant)
+        for node, tenants in sorted(by_node.items()):
+            explicit = sum(t.addr_space for t in tenants
+                           if t.addr_space is not None)
+            defaults = [t for t in tenants if t.addr_space is None]
+            remaining = logical - explicit
+            share = remaining // len(defaults) if defaults else 0
+            offset = 0
+            for tenant in tenants:
+                size = (tenant.addr_space if tenant.addr_space is not None
+                        else share)
+                if size < 1:
+                    raise SpecError(
+                        f"volume tenant {tenant.name!r} gets an empty "
+                        f"LBA window ({size} pages of {logical} logical "
+                        f"on node {node})")
+                out[tenant.name] = (offset, size)
+                offset += size
+            if offset > logical:
+                raise SpecError(
+                    f"volume tenants on node {node} claim {offset} "
+                    f"logical pages but the volume has only {logical} "
+                    f"(overprovision "
+                    f"{self.volume.overprovision})")
+        return out
+
     def port_qos(self) -> Dict[str, Dict[str, Any]]:
         """Per-port splitter QoS overrides gathered from the tenants.
 
@@ -623,7 +781,10 @@ class ScenarioSpec:
             "coalesce": self.coalesce,
             "coalesce_max_pages": self.coalesce_max_pages,
             "host_queue_depth": self.host_queue_depth,
+            "irq_coalesce": self.irq_coalesce,
             "trace": self.trace,
+            "volume": (None if self.volume is None
+                       else self.volume.to_dict()),
             "workload": (None if self.workload is None
                          else self.workload.to_dict()),
         }
@@ -646,6 +807,8 @@ class ScenarioSpec:
             data["topology"] = TopologySpec.from_dict(data["topology"])
         else:
             data.pop("topology", None)
+        if data.get("volume") is not None:
+            data["volume"] = VolumeSpec.from_dict(data["volume"])
         if data.get("workload") is not None:
             data["workload"] = WorkloadSpec.from_dict(data["workload"])
         return cls(**data)

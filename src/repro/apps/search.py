@@ -19,7 +19,7 @@ from typing import List, Optional, Sequence, Tuple
 from ..core.node import BlueDBMNode
 from ..flash import PhysAddr
 from ..isp.mp import MPEngine, MPStream, failure_function, mp_search
-from ..sim import Simulator, Store, units
+from ..sim import LatencyHistogram, Simulator, Store, units
 
 __all__ = ["make_text_corpus", "StringSearchISP", "SoftwareGrep"]
 
@@ -168,6 +168,10 @@ class SoftwareGrep:
         self.cpu = cpu
         self.device = device
         self.scan_ns_per_byte = scan_ns_per_byte
+        #: Per-page device read latency (issue -> data back), across
+        #: every :meth:`run` — the mean/p99 the Figure 21 table reports
+        #: for the software rows.
+        self.page_latency = LatencyHistogram("grep-page-read")
 
     def load(self, corpus: bytes, page_size: int = 8192) -> int:
         """Lay the corpus out sequentially on the device; -> page count."""
@@ -195,7 +199,9 @@ class SoftwareGrep:
         cpu_busy_before = self.cpu.tracker.busy_ns
 
         def _read(page: int):
+            issued = self.sim.now
             data = yield from self.device.read(page)
+            self.page_latency.record(self.sim.now - issued)
             return data
 
         pending = []

@@ -24,3 +24,4 @@ from . import ablations  # noqa: F401,E402
 from . import ext  # noqa: F401,E402
 from . import qos  # noqa: F401,E402
 from . import pipeline  # noqa: F401,E402
+from . import volume  # noqa: F401,E402

@@ -21,7 +21,7 @@ Layers, bottom-up:
 """
 
 from .chip import ErrorModel, EraseError, FlashChip, FlashTiming, ProgramError
-from .coalesce import Coalescer, first_group, plan_groups
+from .coalesce import Coalescer, WriteCoalescer, first_group, plan_groups
 from .controller import (
     FlashCard,
     PartialReadError,
@@ -55,6 +55,7 @@ __all__ = [
     "FlashSplitter",
     "SplitterPort",
     "Coalescer",
+    "WriteCoalescer",
     "first_group",
     "plan_groups",
     "FlashServer",

@@ -285,6 +285,112 @@ class FlashCard:
         except UncorrectablePageError as exc:
             errors[index] = exc
 
+    def program_pages(self, addrs, datas, requests=None):
+        """One multi-page program command: a single tag and one command
+        setup amortized over several page programs (DES generator).
+
+        The write half of splitter-admission coalescing: the whole
+        group holds *one* physical tag and pays ``cmd_overhead_ns``
+        once; then each page's data moves down (aurora + bus) and
+        programs on its chip.  Pages on distinct chips proceed
+        concurrently (a stripe-adjacent run lands on distinct buses);
+        pages sharing a chip execute strictly in input order, so the
+        NAND program-order rule inside a block is preserved exactly as
+        a sequence of single-page commands would have.
+
+        Hard NAND rules enforced up front, before any timing:
+
+        * every address must be on this card and on a good block;
+        * within one block, input pages must be strictly increasing —
+          a group that would *reorder* programs inside a block is
+          rejected with :class:`ProgramError` (and
+          :class:`~repro.flash.chip.FlashChip.program` independently
+          rejects reprogramming a page that is already programmed).
+
+        ``requests`` mirrors :meth:`read_pages`: shared waits (tag,
+        command setup) are charged to every child, per-page transfer
+        and program time to each child alone.
+        """
+        addrs = list(addrs)
+        datas = list(datas)
+        if not addrs:
+            return
+        if len(datas) != len(addrs):
+            raise ValueError(
+                f"{len(datas)} payloads for {len(addrs)} addresses")
+        requests = (list(requests) if requests is not None
+                    else [None] * len(addrs))
+        if len(requests) != len(addrs):
+            raise ValueError(
+                f"{len(requests)} requests for {len(addrs)} addresses")
+        chips = [self._chip(addr) for addr in addrs]
+        for addr in addrs:
+            if self.badblocks.is_bad(addr):
+                raise ProgramError(f"program to bad block at {addr}")
+        last_page: Dict[tuple, int] = {}
+        for addr in addrs:
+            block_key = (addr.bus, addr.chip, addr.block)
+            previous = last_page.get(block_key)
+            if previous is not None and addr.page <= previous:
+                raise ProgramError(
+                    f"multi-page command reorders programs within block "
+                    f"{addr.block_addr()} (page {addr.page} after "
+                    f"{previous})")
+            last_page[block_key] = addr.page
+        with BatchStageSpan(self.sim, requests, "tag"):
+            tag = yield self._tag_pool.get()
+        try:
+            with BatchStageSpan(self.sim, requests, "storage"):
+                yield self.sim.timeout(self.timing.cmd_overhead_ns)
+            # One sequential lane per chip (program order within a
+            # block), all lanes concurrent across chips.
+            lanes: Dict[tuple, list] = {}
+            for index, addr in enumerate(addrs):
+                lanes.setdefault((addr.bus, addr.chip), []).append(index)
+            procs = [
+                self.sim.process(self._lane_program(
+                    [(addrs[i], datas[i], chips[i], requests[i])
+                     for i in indices]))
+                for indices in lanes.values()
+            ]
+            for proc in procs:
+                yield proc
+        finally:
+            self._tag_pool.put_nowait(tag)
+
+    def _lane_program(self, pages):
+        """Program one chip's share of a multi-page command, in order."""
+        for addr, data, chip, request in pages:
+            yield from self._page_program(addr, data, chip, request)
+
+    def _page_program(self, addr: PhysAddr, data: bytes, chip, request):
+        """Data movement + program for one page.
+
+        The shared service half of both a plain :meth:`write_page` and
+        each page of a multi-page command — the caller owns the tag
+        and the per-command setup, so single and coalesced programs
+        cannot drift apart (the write-side analogue of
+        :meth:`_page_service`).
+        """
+        with StageSpan(self.sim, request, "device"):
+            yield self.aurora.request()
+            try:
+                yield self.sim.timeout(
+                    self.timing.aurora_latency_ns
+                    + self._aurora_transfer_ns(len(data)))
+            finally:
+                self.aurora.release()
+            bus = self.buses[addr.bus]
+            yield bus.request()
+            try:
+                yield self.sim.timeout(self._bus_transfer_ns(len(data)))
+            finally:
+                bus.release()
+        with StageSpan(self.sim, request, "storage"):
+            yield self.sim.process(chip.program(addr, data))
+        self.writes.add()
+        self.bytes_written.add(self.geometry.page_size)
+
     def write_page(self, addr: PhysAddr, data: bytes,
                    request: Optional[IORequest] = None):
         """Tagged page program.
@@ -301,24 +407,7 @@ class FlashCard:
         try:
             with StageSpan(self.sim, request, "storage"):
                 yield self.sim.timeout(self.timing.cmd_overhead_ns)
-            with StageSpan(self.sim, request, "device"):
-                yield self.aurora.request()
-                try:
-                    yield self.sim.timeout(
-                        self.timing.aurora_latency_ns
-                        + self._aurora_transfer_ns(len(data)))
-                finally:
-                    self.aurora.release()
-                bus = self.buses[addr.bus]
-                yield bus.request()
-                try:
-                    yield self.sim.timeout(self._bus_transfer_ns(len(data)))
-                finally:
-                    bus.release()
-            with StageSpan(self.sim, request, "storage"):
-                yield self.sim.process(chip.program(addr, data))
-            self.writes.add()
-            self.bytes_written.add(self.geometry.page_size)
+            yield from self._page_program(addr, data, chip, request)
         finally:
             self._tag_pool.put_nowait(tag)
 

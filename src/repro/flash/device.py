@@ -78,6 +78,24 @@ class StorageDevice:
             self._card(addrs[0]).read_pages(addrs, requests=requests))
         return results
 
+    def program_pages(self, addrs, datas, requests=None):
+        """Multi-page program command routed to one card (DES generator).
+
+        Mirrors :meth:`read_pages`: a coalesced program is a single
+        tagged operation on a single card, so every address must land
+        on the same card.
+        """
+        if not addrs:
+            return
+        cards = {addr.card for addr in addrs}
+        if len(cards) > 1:
+            raise ValueError(
+                f"multi-page command spans cards {sorted(cards)}; "
+                f"coalesced commands are per-card")
+        yield self.sim.process(
+            self._card(addrs[0]).program_pages(addrs, datas,
+                                               requests=requests))
+
     def write_page(self, addr: PhysAddr, data: bytes, request=None):
         yield self.sim.process(
             self._card(addr).write_page(addr, data, request=request))

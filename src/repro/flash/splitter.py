@@ -42,7 +42,7 @@ from typing import List, Optional
 
 from ..io import IOKind, IORequest, RequestTracer, ScheduledResource, StageSpan
 from ..sim import BandwidthLedger, Counter, Simulator
-from .coalesce import Coalescer
+from .coalesce import Coalescer, WriteCoalescer
 from .controller import FlashCard, ReadResult
 from .geometry import DEFAULT_GEOMETRY, PhysAddr
 
@@ -71,6 +71,9 @@ class SplitterPort:
                                         name=f"splitter-{self.tenant}")
         self.coalescer = (Coalescer(self, splitter.coalesce_max_pages)
                           if splitter.coalesce else None)
+        self.write_coalescer = (
+            WriteCoalescer(self, splitter.coalesce_max_pages)
+            if splitter.coalesce else None)
         self._next_user_tag = 0
         self.reads = Counter(f"user{user_id}-reads")
         self.writes = Counter(f"user{user_id}-writes")
@@ -208,8 +211,23 @@ class SplitterPort:
 
     def write_page(self, addr: PhysAddr, data: bytes,
                    request: Optional[IORequest] = None):
+        """Program via the shared card.
+
+        With coalescing enabled the program is staged at the port's
+        :class:`~repro.flash.coalesce.WriteCoalescer`: stripe-adjacent
+        programs from the same tenant targeting the open write point
+        merge into one multi-page command (one slot, one admission
+        grant at the merged byte cost, one card command setup),
+        strictly preserving NAND program order within every block.
+        """
         request, owned = self._start(IOKind.WRITE, addr, len(data), request)
         self._rename()
+        if self.write_coalescer is not None:
+            yield self.write_coalescer.submit(addr, data, request)
+            self.writes.add()
+            if owned:
+                self.splitter.tracer.complete(request)
+            return
         yield from self._admit(request, cost=len(data))
         try:
             yield self.splitter.sim.process(
@@ -327,9 +345,15 @@ class FlashSplitter:
         return getattr(geometry, "page_size", 8192)
 
     def coalescing_stats(self) -> dict:
-        """Per-port coalescer counters (empty when coalescing is off)."""
+        """Per-port read-coalescer counters (empty when coalescing off)."""
         return {port.tenant: port.coalescer.stats()
                 for port in self.ports if port.coalescer is not None}
+
+    def write_coalescing_stats(self) -> dict:
+        """Per-port program-coalescer counters (empty when off)."""
+        return {port.tenant: port.write_coalescer.stats()
+                for port in self.ports
+                if port.write_coalescer is not None}
 
     @property
     def in_flight(self) -> int:

@@ -7,7 +7,7 @@
   block-device path.
 """
 
-from .allocator import BlockAllocator
+from .allocator import ALLOCATION_MODES, BlockAllocator
 from .ftl import BlockDeviceFTL
 from .log import LogStructuredCore, OutOfSpaceError
 from .mapping import BlockState, PageMap
@@ -16,6 +16,7 @@ __all__ = [
     "PageMap",
     "BlockState",
     "BlockAllocator",
+    "ALLOCATION_MODES",
     "LogStructuredCore",
     "OutOfSpaceError",
     "BlockDeviceFTL",

@@ -1,23 +1,47 @@
 """Physical block allocation with chip-striping and wear awareness.
 
-The allocator hands out *write points* — (block, next page) cursors — in
-round-robin order across every chip of the device, so that sequential
-logical writes land on different buses/chips and program in parallel
-(the "exposing all degrees of parallelism" goal of Section 3.1.1).
+The allocator hands out *write points* — (block, next page) cursors — so
+that sequential logical writes land on different buses/chips and program
+in parallel (the "exposing all degrees of parallelism" goal of Section
+3.1.1).  Two allocation modes:
 
-Free blocks per chip are kept wear-sorted: taking the least-erased block
-first is the static wear-leveling policy.
+* ``striped`` (the default) rotates round-robin over every chip,
+  advancing each chip's private open block independently — the seed
+  behavior.  Consecutive allocations always land on different buses,
+  but the pages are only *stripe-adjacent* while every chip happens to
+  share the same open block.
+* ``sequential`` hands out write points as stripe-adjacent runs — the
+  exact inverse of :meth:`~repro.flash.geometry.FlashGeometry.
+  striped_index`.  A *stripe group* (the same block id opened on every
+  chip at once) is filled unit-by-unit, page-by-page, so consecutive
+  allocations have consecutive striped indices and a logically
+  sequential writer's pages merge into multi-page program commands
+  downstream.  When no block id is free on every chip (bad blocks,
+  fragmented frees), allocation falls back to the striped rotation for
+  that page.
+
+Free blocks per chip are kept in a min-heap keyed by erase count
+(least-erased-first is the static wear-leveling policy): taking a block
+is O(log n) instead of the former sort-per-take.  Heap entries are
+re-keyed lazily — an entry whose recorded erase count went stale is
+re-pushed at its current count before it can win — so external erases
+recorded against free blocks still reorder the heap correctly.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+import heapq
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..flash import BadBlockTable, FlashGeometry, PhysAddr, WearTracker
 
-__all__ = ["BlockAllocator"]
+__all__ = ["BlockAllocator", "ALLOCATION_MODES"]
 
 _ChipKey = Tuple[int, int, int, int]
+
+#: Legal ``mode`` values: the seed's chip rotation and the
+#: stripe-adjacent sequential mode logical volumes use.
+ALLOCATION_MODES = ("striped", "sequential")
 
 
 class BlockAllocator:
@@ -25,17 +49,28 @@ class BlockAllocator:
 
     def __init__(self, geometry: FlashGeometry, badblocks: BadBlockTable,
                  wear: WearTracker, node: int = 0,
-                 cards: Optional[List[int]] = None):
+                 cards: Optional[List[int]] = None,
+                 mode: str = "striped"):
+        if mode not in ALLOCATION_MODES:
+            raise ValueError(f"unknown allocation mode {mode!r}; "
+                             f"expected one of {ALLOCATION_MODES}")
         self.geometry = geometry
         self.badblocks = badblocks
         self.wear = wear
         self.node = node
+        self.mode = mode
         self.cards = cards if cards is not None else list(
             range(geometry.cards_per_node))
-        self._free: Dict[_ChipKey, List[int]] = {}
+        #: Authoritative per-chip free membership; the heap may carry
+        #: stale entries that are skipped at pop time.
+        self._free: Dict[_ChipKey, Set[int]] = {}
+        self._heaps: Dict[_ChipKey, List[Tuple[int, int]]] = {}
         self._chips: List[_ChipKey] = []
         # Bus-fastest rotation: consecutive allocations land on different
         # buses, so short sequential runs still engage every channel.
+        # With all cards present this enumeration order is exactly the
+        # striped unit order (bus-fastest, then card, then chip), which
+        # is what makes sequential mode's unit walk stripe-adjacent.
         for chip in range(geometry.chips_per_bus):
             for card in self.cards:
                 for bus in range(geometry.buses_per_card):
@@ -47,11 +82,18 @@ class BlockAllocator:
                             node=node, card=card, bus=bus, chip=chip,
                             block=b))
                     ]
-                    self._free[key] = blocks
+                    self._free[key] = set(blocks)
+                    heap = [(wear.erase_count(PhysAddr(
+                        node=node, card=card, bus=bus, chip=chip,
+                        block=b)), b) for b in blocks]
+                    heapq.heapify(heap)
+                    self._heaps[key] = heap
         self._rr = 0  # round-robin cursor over chips
         # Open write point per chip: (block, next_page).
         self._open: Dict[_ChipKey, Optional[Tuple[int, int]]] = {
             key: None for key in self._chips}
+        # Sequential mode's open stripe group: (block, unit, page).
+        self._seq_open: Optional[Tuple[int, int, int]] = None
 
     # -- free space --------------------------------------------------------
     @property
@@ -60,26 +102,62 @@ class BlockAllocator:
 
     @property
     def total_good_blocks(self) -> int:
-        return self.free_blocks + sum(
+        open_blocks = sum(
             1 for open_ in self._open.values() if open_ is not None)
+        if self._seq_open is not None:
+            open_blocks += len(self._chips)
+        return self.free_blocks + open_blocks
+
+    def _erase_count(self, key: _ChipKey, block: int) -> int:
+        node, card, bus, chip = key
+        return self.wear.erase_count(PhysAddr(
+            node=node, card=card, bus=bus, chip=chip, block=block))
 
     def _take_block(self, key: _ChipKey) -> Optional[int]:
-        """Pop the least-worn free block of a chip (wear leveling)."""
-        blocks = self._free.get(key)
-        if not blocks:
+        """Pop the least-worn free block of a chip (wear leveling).
+
+        Stale heap entries (removed blocks, or blocks whose erase count
+        moved since push) are dropped or re-keyed lazily, so the block
+        returned is least-erased at *take* time — ties broken by block
+        id for determinism.
+        """
+        free = self._free.get(key)
+        if not free:
             return None
-        node, card, bus, chip = key
-        blocks.sort(key=lambda b: self.wear.erase_count(PhysAddr(
-            node=node, card=card, bus=bus, chip=chip, block=b)))
-        return blocks.pop(0)
+        heap = self._heaps[key]
+        while heap:
+            count, block = heap[0]
+            if block not in free:
+                heapq.heappop(heap)
+                continue
+            current = self._erase_count(key, block)
+            if current != count:
+                heapq.heapreplace(heap, (current, block))
+                continue
+            heapq.heappop(heap)
+            free.discard(block)
+            return block
+        return None
+
+    def _take_specific(self, key: _ChipKey, block: int) -> None:
+        """Claim one named free block (sequential stripe groups)."""
+        self._free[key].discard(block)
+        # Its heap entry goes stale and is skipped at a later pop.
 
     # -- write point allocation ----------------------------------------------
     def next_page(self) -> Optional[PhysAddr]:
-        """The next physical page to program, striped across chips.
+        """The next physical page to program.
 
-        Returns None when the device is out of free space (caller must
-        garbage collect).
+        ``striped`` mode rotates across chips; ``sequential`` mode walks
+        the open stripe group in striped-index order (falling back to
+        the rotation when no block id is free on every chip).  Returns
+        None when the device is out of free space (caller must garbage
+        collect).
         """
+        if self.mode == "sequential":
+            addr = self._next_sequential()
+            if addr is not None:
+                return addr
         for _ in range(len(self._chips)):
             key = self._chips[self._rr]
             self._rr = (self._rr + 1) % len(self._chips)
@@ -99,6 +177,43 @@ class BlockAllocator:
             return addr
         return None
 
+    def _common_block(self) -> Optional[int]:
+        """A block id free on *every* chip, least total wear first."""
+        if not self._chips:
+            return None
+        common = set.intersection(
+            *(self._free[key] for key in self._chips))
+        if not common:
+            return None
+        return min(common, key=lambda b: (
+            sum(self._erase_count(key, b) for key in self._chips), b))
+
+    def _next_sequential(self) -> Optional[PhysAddr]:
+        """One page off the open stripe group, striped-index order.
+
+        Unit-fastest, then page: consecutive calls return addresses with
+        consecutive :meth:`FlashGeometry.striped_index` values, which is
+        the adjacency the write coalescer merges on.
+        """
+        if self._seq_open is None:
+            block = self._common_block()
+            if block is None:
+                return None
+            for key in self._chips:
+                self._take_specific(key, block)
+            self._seq_open = (block, 0, 0)
+        block, unit, page = self._seq_open
+        node, card, bus, chip = self._chips[unit]
+        addr = PhysAddr(node=node, card=card, bus=bus, chip=chip,
+                        block=block, page=page)
+        unit += 1
+        if unit >= len(self._chips):
+            unit = 0
+            page += 1
+        self._seq_open = (None if page >= self.geometry.pages_per_block
+                          else (block, unit, page))
+        return addr
+
     def release_block(self, addr: PhysAddr) -> None:
         """Return an erased block to its chip's free list."""
         key = (addr.node, addr.card, addr.bus, addr.chip)
@@ -107,11 +222,13 @@ class BlockAllocator:
         if addr.block in self._free[key]:
             raise ValueError(f"block {addr.block} already free")
         if not self.badblocks.is_bad(addr):
-            self._free[key].append(addr.block)
+            self._free[key].add(addr.block)
+            heapq.heappush(self._heaps[key],
+                           (self._erase_count(key, addr.block), addr.block))
 
     def retire_block(self, addr: PhysAddr) -> None:
         """Drop a grown-bad block from circulation permanently."""
         key = (addr.node, addr.card, addr.bus, addr.chip)
-        blocks = self._free.get(key)
-        if blocks and addr.block in blocks:
-            blocks.remove(addr.block)
+        free = self._free.get(key)
+        if free is not None:
+            free.discard(addr.block)

@@ -81,6 +81,12 @@ class HostInterface:
         self.write_latency = LatencyStats("host-write")
         self.reads = Counter("host-reads")
         self.writes = Counter("host-writes")
+        # Interrupt-coalescing state shared across this interface's
+        # submitted batches: reads completed since the last interrupt,
+        # and reads currently in flight under a coalescing submit (the
+        # drain fallback — the last one out always raises the line).
+        self._irq_accrued = 0
+        self._irq_inflight = 0
 
     def _start(self, kind: IOKind, addr: PhysAddr, size: int,
                request: Optional[IORequest]) -> tuple:
@@ -102,8 +108,14 @@ class HostInterface:
 
     # -- per-operation flows (shared by blocking calls and submit) ------
     def _read_flow(self, addr: PhysAddr, software_path: bool,
-                   request: Optional[IORequest]):
-        """The whole host read path for one page (DES generator)."""
+                   request: Optional[IORequest], interrupt: bool = True):
+        """The whole host read path for one page (DES generator).
+
+        ``interrupt=False`` skips the per-page completion interrupt —
+        the coalesced-interrupt submission path charges one interrupt
+        per drained group instead (see :meth:`submit`'s
+        ``irq_coalesce``).
+        """
         if software_path:
             with StageSpan(self.sim, request, "software"):
                 yield self.sim.process(
@@ -119,8 +131,9 @@ class HostInterface:
             with StageSpan(self.sim, request, "pcie"):
                 yield self.sim.process(
                     self.pcie.device_to_host(self.page_size))
-            with StageSpan(self.sim, request, "interrupt"):
-                yield self.sim.timeout(self.config.interrupt_ns)
+            if interrupt:
+                with StageSpan(self.sim, request, "interrupt"):
+                    yield self.sim.timeout(self.config.interrupt_ns)
         finally:
             self.read_buffers.release(buffer_index)
         return result
@@ -200,9 +213,48 @@ class HostInterface:
         if owned:
             self.tracer.complete(request)
 
+    # -- blocking logical (volume) calls --------------------------------
+    def read_lpn(self, volume, lpn: int, software_path: bool = True,
+                 request: Optional[IORequest] = None):
+        """Read one *logical* page of ``volume`` (DES generator).
+
+        The volume resolves the LPN through its FTL map; the physical
+        access rides this interface's full read flow.  Returns the page
+        data (erased pattern for unmapped LPNs).
+        """
+        request, owned = self._start(IOKind.READ, lpn, self.page_size,
+                                     request)
+        start = self.sim.now
+        data = yield from volume.read_flow(lpn, self, software_path,
+                                           request)
+        self.reads.add()
+        self.read_latency.record(self.sim.now - start)
+        if owned:
+            self.tracer.complete(request)
+        return data
+
+    def write_lpn(self, volume, lpn: int, data: bytes,
+                  software_path: bool = True,
+                  request: Optional[IORequest] = None):
+        """Write one *logical* page of ``volume`` (DES generator).
+
+        The volume allocates a fresh physical page (out-of-place remap,
+        GC as needed, relocation through the volume's GC port); the
+        program rides this interface's full write flow.
+        """
+        request, owned = self._start(IOKind.WRITE, lpn, len(data), request)
+        start = self.sim.now
+        yield from volume.write_flow(self, lpn, data, software_path,
+                                     request, tenant=self.tenant)
+        self.writes.add()
+        self.write_latency.record(self.sim.now - start)
+        if owned:
+            self.tracer.complete(request)
+
     # -- asynchronous batched submission --------------------------------
     def submit(self, ops: Iterable, queue_depth: Optional[int] = None,
-               software_path: bool = False) -> RequestBatch:
+               software_path: bool = False, volume=None,
+               irq_coalesce: int = 1) -> RequestBatch:
         """Issue a batch of operations asynchronously; returns at once.
 
         ``ops`` is an iterable of ``(kind, addr)`` or
@@ -223,10 +275,27 @@ class HostInterface:
         kernel-bypass submission loop the paper's bandwidth
         measurements use — no per-request syscall/driver charge; pass
         ``True`` to pay the full per-request software path instead.
+
+        ``volume`` routes the batch through a
+        :class:`~repro.volume.LogicalVolume`: each op's address is a
+        *logical* page number, reads resolve through the FTL map, and
+        writes allocate out-of-place with validity updates and GC.
+
+        ``irq_coalesce=N`` (N > 1) amortizes the completion interrupt:
+        instead of one ``interrupt_ns`` charge per page read, the
+        interface pays one per N read completions — aggregated across
+        every coalescing batch in flight on this interface, with a
+        drain fallback (the last outstanding read always pays, so no
+        completion waits on an interrupt that never comes).  This is
+        Figure 12's ``interrupt`` component amortized at depth.
+        Writes complete by ack and are unaffected.
         """
         depth = self.queue_depth if queue_depth is None else queue_depth
         if depth < 1:
             raise ValueError(f"queue_depth must be >= 1, got {depth}")
+        if irq_coalesce < 1:
+            raise ValueError(
+                f"irq_coalesce must be >= 1, got {irq_coalesce}")
         batch = RequestBatch(self.sim, tenant=self.tenant)
         for op in ops:
             kind, addr = op[0], op[1]
@@ -240,12 +309,18 @@ class HostInterface:
             batch.add(kind, addr, data=data, request=request)
         batch.seal()
         if batch.items:
-            self.sim.process(self._pump(batch, depth, software_path),
-                             name=f"{self.tenant}-submit")
+            if irq_coalesce > 1:
+                self._irq_inflight += sum(
+                    1 for item in batch.items
+                    if item.kind is IOKind.READ)
+            self.sim.process(
+                self._pump(batch, depth, software_path, volume,
+                           irq_coalesce),
+                name=f"{self.tenant}-submit")
         return batch
 
-    def _pump(self, batch: RequestBatch, depth: int,
-              software_path: bool):
+    def _pump(self, batch: RequestBatch, depth: int, software_path: bool,
+              volume, irq_coalesce: int):
         """Keep up to ``depth`` of the batch's flows in flight."""
         waiting = deque(batch.items)
         pending: dict = {}
@@ -254,7 +329,8 @@ class HostInterface:
             while waiting and len(pending) < depth:
                 item = waiting.popleft()
                 proc = self.sim.process(
-                    self._item_flow(batch, item, software_path))
+                    self._item_flow(batch, item, software_path, volume,
+                                    irq_coalesce))
                 pending[proc] = item
 
         launch()
@@ -264,7 +340,8 @@ class HostInterface:
                 del pending[proc]
             launch()
 
-    def _item_flow(self, batch: RequestBatch, item, software_path: bool):
+    def _item_flow(self, batch: RequestBatch, item, software_path: bool,
+                   volume=None, irq_coalesce: int = 1):
         """Run one batch item end to end and settle it.
 
         Failures are settled into the item (its event fails, carrying
@@ -276,14 +353,36 @@ class HostInterface:
         error: Optional[BaseException] = None
         try:
             if item.kind is IOKind.READ:
-                page = yield from self._read_flow(item.addr, software_path,
-                                                  item.request)
-                result = page.data
+                inline_irq = irq_coalesce <= 1
+                try:
+                    if volume is not None:
+                        result = yield from volume.read_flow(
+                            item.addr, self, software_path, item.request,
+                            interrupt=inline_irq)
+                    else:
+                        page = yield from self._read_flow(
+                            item.addr, software_path, item.request,
+                            interrupt=inline_irq)
+                        result = page.data
+                finally:
+                    # A failed read still retires from the coalescing
+                    # window (and may raise the shared interrupt) —
+                    # otherwise the drain fallback would never fire
+                    # again and later tails would skip their interrupt.
+                    if not inline_irq:
+                        yield from self._coalesced_interrupt(
+                            item.request, irq_coalesce)
                 self.reads.add()
                 self.read_latency.record(self.sim.now - start)
             elif item.kind is IOKind.WRITE:
-                yield from self._write_flow(item.addr, item.data,
-                                            software_path, item.request)
+                if volume is not None:
+                    yield from volume.write_flow(
+                        self, item.addr, item.data, software_path,
+                        item.request, tenant=self.tenant)
+                else:
+                    yield from self._write_flow(item.addr, item.data,
+                                                software_path,
+                                                item.request)
                 self.writes.add()
                 self.write_latency.record(self.sim.now - start)
             else:
@@ -294,3 +393,21 @@ class HostInterface:
         if self.tracer is not None and error is None:
             self.tracer.complete(item.request)
         batch.item_done(item, result=result, error=error)
+
+    def _coalesced_interrupt(self, request, irq_coalesce: int):
+        """Charge one completion interrupt per drained read group.
+
+        Every ``irq_coalesce``-th read completion on this interface
+        pays the full ``interrupt_ns``; the others ride the same
+        interrupt for free.  The last outstanding coalescing read
+        always pays (drain fallback), so no completion ever waits on
+        an interrupt that is never raised.
+        """
+        self._irq_inflight -= 1
+        self._irq_accrued += 1
+        if self._irq_accrued >= irq_coalesce or self._irq_inflight == 0:
+            self._irq_accrued = 0
+            with StageSpan(self.sim, request, "interrupt"):
+                yield self.sim.timeout(self.config.interrupt_ns)
+        else:
+            yield self.sim.timeout(0)

@@ -1,0 +1,15 @@
+"""Logical-volume write path: FTL-backed volumes over the host stack.
+
+:class:`LogicalVolume` gives scenario tenants a logical block address
+space (the paper's Section 3.1/4 host-side flash management story)
+while every physical access still flows through the host interface,
+splitter admission, the QoS policies and the read/write coalescers —
+so SQL-scan / graph-stream style logical workloads coalesce and get
+arbitrated without knowing their blocks are remapped.  Declared in
+scenarios via :class:`~repro.api.spec.VolumeSpec` and
+``TenantSpec(access="volume")``.
+"""
+
+from .volume import LogicalVolume
+
+__all__ = ["LogicalVolume"]

@@ -1,0 +1,350 @@
+"""Logical volumes: host-side FTL state driving QoS-arbitrated I/O.
+
+:class:`LogicalVolume` is the write-path subsystem sitting between
+:class:`~repro.api.session.Session` tenants and the device: it owns the
+host-side flash-management state of the paper's driver FTL ("a
+full-fledged FTL implemented in the device driver, similar to Fusion
+IO's driver", Section 4) — an L2P :class:`~repro.ftl.mapping.PageMap`,
+a :class:`~repro.ftl.allocator.BlockAllocator` (``sequential`` mode by
+default, so logically consecutive writes land on stripe-adjacent
+physical runs), validity tracking and greedy garbage collection — but,
+unlike :class:`~repro.ftl.ftl.BlockDeviceFTL`, it performs **no device
+I/O of its own**:
+
+* foreground page reads/writes ride the *caller's*
+  :class:`~repro.host.iface.HostInterface` flows (syscall/driver, page
+  buffers, RPC, PCIe DMA, splitter admission, card command), so QoS
+  policies, bandwidth accounting, request tracing and the read/write
+  coalescers all apply without the workload knowing its blocks are
+  remapped;
+* GC relocation traffic flows through a dedicated low-priority
+  splitter port (the PR-3 background-GC port pattern), so victim-tenant
+  QoS results compose with everything the qos_gc scenarios measured.
+
+Allocation (and GC, which runs inside the allocation critical section)
+is serialized by a one-slot lock; the physical program itself happens
+outside the lock, so ``queue_depth`` concurrent writers still fill the
+device's queue — and, with sequential allocation, fill it with
+stripe-adjacent runs the program coalescer merges.
+
+Write amplification is accounted per tenant: each logical write bumps
+its issuer's ``user_writes``; each GC relocation bumps the *owning*
+tenant's ``gc_moved`` (ownership = the registered LBA window containing
+the moved page), so ``write_amplification(tenant)`` reports
+``(user + relocated) / user`` — the classic WA definition, per tenant.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..flash import PhysAddr
+from ..ftl import ALLOCATION_MODES, BlockAllocator, OutOfSpaceError, PageMap
+from ..sim import Event, Resource, Simulator
+
+__all__ = ["LogicalVolume"]
+
+_BlockKey = Tuple[int, int, int, int, int]
+
+
+class LogicalVolume:
+    """FTL-backed logical block volume over one node's storage device.
+
+    ``gc_port`` is the dedicated :class:`~repro.flash.splitter.
+    SplitterPort` GC relocation traffic is injected through; foreground
+    I/O is driven by whatever host interface the caller hands to
+    :meth:`read_flow` / :meth:`write_flow`.
+    """
+
+    def __init__(self, sim: Simulator, device, gc_port,
+                 overprovision: float = 0.25,
+                 allocation: str = "sequential",
+                 gc_low_watermark: int = 2,
+                 name: str = "volume"):
+        if not 0.0 <= overprovision < 1.0:
+            raise ValueError(
+                f"overprovision must be in [0, 1), got {overprovision}")
+        if allocation not in ALLOCATION_MODES:
+            raise ValueError(
+                f"unknown allocation mode {allocation!r}; expected one "
+                f"of {ALLOCATION_MODES}")
+        if gc_low_watermark < 1:
+            raise ValueError("gc_low_watermark must be >= 1")
+        self.sim = sim
+        self.device = device
+        self.geometry = device.geometry
+        self.gc_port = gc_port
+        self.name = name
+        self.allocation = allocation
+        self.overprovision = overprovision
+        self.gc_low_watermark = gc_low_watermark
+        self.map = PageMap(self.geometry)
+        self.allocator = BlockAllocator(self.geometry, device.badblocks,
+                                        device.wear, node=device.node,
+                                        mode=allocation)
+        self.logical_pages = int(
+            self.geometry.pages_per_node * (1.0 - overprovision))
+        self.page_size = self.geometry.page_size
+        self._lock = Resource(sim, capacity=1, name=f"{name}-alloc")
+        self._full_blocks: Set[_BlockKey] = set()
+        self._programmed: Dict[_BlockKey, int] = {}
+        #: block -> in-flight foreground reads; GC must not erase a
+        #: block out from under one (it would read back erased bytes).
+        self._reading: Dict[_BlockKey, int] = {}
+        self._read_gates: Dict[_BlockKey, List[Event]] = {}
+        #: (start, end, tenant) LBA ownership windows, in registration
+        #: order; GC relocation is attributed to the owning tenant.
+        self._owners: List[Tuple[int, int, str]] = []
+        self.user_writes: Dict[str, int] = {}
+        self.gc_moved: Dict[str, int] = {}
+        self.total_programs = 0
+        self.gc_runs = 0
+        self.gc_moved_pages = 0
+        self.prefilled_pages = 0
+
+    # -- ownership / accounting -----------------------------------------
+    def register_owner(self, start: int, size: int, tenant: str) -> None:
+        """Claim the LBA window ``[start, start+size)`` for ``tenant``."""
+        if start < 0 or size < 1 or start + size > self.logical_pages:
+            raise ValueError(
+                f"window [{start}, {start + size}) outside the volume's "
+                f"{self.logical_pages} logical pages")
+        self._owners.append((start, start + size, tenant))
+        self.user_writes.setdefault(tenant, 0)
+        self.gc_moved.setdefault(tenant, 0)
+
+    def owner_of(self, lpn: int) -> str:
+        """The tenant owning ``lpn``'s window (the volume name if none)."""
+        for start, end, tenant in self._owners:
+            if start <= lpn < end:
+                return tenant
+        return self.name
+
+    def write_amplification(self, tenant: Optional[str] = None) -> float:
+        """Programs per user write: 1.0 = no GC traffic charged.
+
+        With a ``tenant``, the per-tenant view — that tenant's user
+        writes plus the relocations its pages caused; without, the
+        volume-wide aggregate.
+        """
+        if tenant is not None:
+            user = self.user_writes.get(tenant, 0)
+            if user == 0:
+                return 1.0
+            return (user + self.gc_moved.get(tenant, 0)) / user
+        user = sum(self.user_writes.values())
+        if user == 0:
+            return 1.0
+        return (user + self.gc_moved_pages) / user
+
+    def stats(self) -> dict:
+        """JSON-ready counters for ``RunResult.metrics``."""
+        return {
+            "logical_pages": self.logical_pages,
+            "mapped_pages": self.map.mapped_count,
+            "prefilled_pages": self.prefilled_pages,
+            "free_blocks": self.allocator.free_blocks,
+            "allocation": self.allocation,
+            "overprovision": self.overprovision,
+            "user_writes": dict(self.user_writes),
+            "gc_moved": dict(self.gc_moved),
+            "gc_runs": self.gc_runs,
+            "gc_moved_pages": self.gc_moved_pages,
+            "total_programs": self.total_programs,
+            "write_amplification": {
+                tenant: self.write_amplification(tenant)
+                for tenant in self.user_writes},
+            "overall_write_amplification": self.write_amplification(),
+        }
+
+    # -- mapping ---------------------------------------------------------
+    def _check_lpn(self, lpn: int) -> None:
+        if not 0 <= lpn < self.logical_pages:
+            raise ValueError(
+                f"LPN {lpn} out of range (volume has "
+                f"{self.logical_pages} logical pages)")
+
+    def physical_of(self, lpn: int) -> Optional[PhysAddr]:
+        """Current physical location of a logical page (None=unmapped)."""
+        self._check_lpn(lpn)
+        return self.map.lookup(lpn)
+
+    @staticmethod
+    def _key(addr: PhysAddr) -> _BlockKey:
+        return (addr.node, addr.card, addr.bus, addr.chip, addr.block)
+
+    def _note_program(self, addr: PhysAddr) -> None:
+        """Record one programmed page; track fully-programmed blocks.
+
+        Blocks become GC-eligible only once *every* allocated page has
+        actually programmed, so GC never relocates (or erases under) a
+        page whose program is still in flight.
+        """
+        self.map.note_programmed(addr)
+        key = self._key(addr)
+        count = self._programmed.get(key, 0) + 1
+        if count >= self.geometry.pages_per_block:
+            self._programmed.pop(key, None)
+            self._full_blocks.add(key)
+        else:
+            self._programmed[key] = count
+
+    def prefill(self, start: int, count: int) -> None:
+        """Map ``count`` logical pages from ``start``, instantly.
+
+        Functional setup (zero simulated time, no device commands):
+        the pages get real physical locations from the allocator —
+        stripe-adjacent runs under sequential allocation — and count as
+        programmed for GC purposes, but not as user writes, so
+        write-amplification measures only the workload.
+        """
+        for lpn in range(start, start + count):
+            self._check_lpn(lpn)
+            addr = self.allocator.next_page()
+            if addr is None:
+                raise OutOfSpaceError(
+                    f"prefill exhausted the device at LPN {lpn}")
+            self.map.map_page(lpn, addr)
+            self._note_program(addr)
+            self.prefilled_pages += 1
+
+    # -- foreground flows (DES generators) -------------------------------
+    def read_flow(self, lpn: int, iface, software_path: bool,
+                  request, interrupt: bool = True) -> bytes:
+        """Read one logical page through ``iface``'s host read flow.
+
+        Unmapped pages return the erased pattern without a device
+        command (the FTL answers from the map, like a real driver).
+        ``interrupt`` threads through to the host read flow for the
+        coalesced-interrupt submission path.
+        """
+        self._check_lpn(lpn)
+        addr = self.map.lookup(lpn)
+        if addr is None:
+            yield self.sim.timeout(0)
+            return b"\xff" * self.page_size
+        # Pin the block against GC's erase for the read's lifetime: the
+        # mapping may move meanwhile (we then return the version that
+        # was current at resolve time — ordinary out-of-place-FTL
+        # semantics), but the physical page must not be erased under us.
+        key = self._key(addr)
+        self._reading[key] = self._reading.get(key, 0) + 1
+        try:
+            result = yield from iface._read_flow(addr, software_path,
+                                                 request,
+                                                 interrupt=interrupt)
+        finally:
+            remaining = self._reading[key] - 1
+            if remaining:
+                self._reading[key] = remaining
+            else:
+                del self._reading[key]
+                for gate in self._read_gates.pop(key, ()):
+                    if not gate.triggered:
+                        gate.succeed()
+        return result.data
+
+    def write_flow(self, iface, lpn: int, data: bytes,
+                   software_path: bool, request,
+                   tenant: Optional[str] = None):
+        """Write one logical page out-of-place through ``iface``.
+
+        Allocation (and any GC it triggers) happens under the volume
+        lock; the physical program runs outside it, so concurrent
+        writers keep the device queue full with stripe-adjacent runs.
+        The remap — old mapping invalidated, LPN pointed at the fresh
+        page — happens only when the program *completes*: reads
+        resolving meanwhile still see the previous version (never an
+        unprogrammed page), and concurrent writes to one LPN settle
+        last-completer-wins, exactly like unordered writes to one LBA
+        on a real device.
+        """
+        self._check_lpn(lpn)
+        owner = tenant or iface.tenant
+        yield self._lock.request()
+        try:
+            yield from self._ensure_space()
+            addr = self.allocator.next_page()
+            if addr is None:
+                raise OutOfSpaceError("no free pages after GC")
+            self.user_writes[owner] = self.user_writes.get(owner, 0) + 1
+            self.total_programs += 1
+        finally:
+            self._lock.release()
+        yield from iface._write_flow(addr, data, software_path, request)
+        self.map.map_page(lpn, addr)
+        self._note_program(addr)
+
+    def trim(self, lpn: int) -> None:
+        """Invalidate a logical page (TRIM); space is reclaimed by GC."""
+        self._check_lpn(lpn)
+        self.map.unmap(lpn)
+
+    # -- garbage collection ----------------------------------------------
+    def _ensure_space(self):
+        """Collect until the free-block floor holds (lock must be held)."""
+        while (self.allocator.free_blocks < self.gc_low_watermark
+               and self._full_blocks):
+            freed = yield from self._collect_once()
+            if not freed:
+                break
+
+    def _addr_of(self, key: _BlockKey) -> PhysAddr:
+        node, card, bus, chip, block = key
+        return PhysAddr(node=node, card=card, bus=bus, chip=chip,
+                        block=block, page=0)
+
+    def _collect_once(self):
+        """Greedy GC through the dedicated port: relocate the
+        fewest-valid full block, erase it.  Returns True if reclaimed.
+        """
+        victim_key = min(
+            self._full_blocks,
+            key=lambda key: (self.map.block_state(
+                self._addr_of(key)).valid_count, key),
+            default=None)
+        if victim_key is None:
+            return False
+        victim = self._addr_of(victim_key)
+        state = self.map.block_state(victim)
+        if state.valid_count >= self.geometry.pages_per_block:
+            # Every page still valid: nothing to reclaim anywhere.
+            return False
+        self._full_blocks.discard(victim_key)
+        self.gc_runs += 1
+        for page_addr in list(self.map.valid_pages_of(victim)):
+            lpn = self.map.reverse(page_addr)
+            if lpn is None:
+                continue
+            result = yield from self.gc_port.read_page(page_addr)
+            dest = self.allocator.next_page()
+            if dest is None:
+                raise OutOfSpaceError("GC found no destination page")
+            yield from self.gc_port.write_page(dest, result.data)
+            self.map.map_page(lpn, dest)
+            self._note_program(dest)
+            owner = self.owner_of(lpn)
+            self.gc_moved[owner] = self.gc_moved.get(owner, 0) + 1
+            self.gc_moved_pages += 1
+            self.total_programs += 1
+        # Erase barrier: foreground reads that resolved a page of this
+        # block before the relocation must finish first — erasing under
+        # them would hand back erased bytes instead of their data.
+        while self._reading.get(victim_key):
+            gate = Event(self.sim)
+            self._read_gates.setdefault(victim_key, []).append(gate)
+            yield gate
+        yield from self.gc_port.erase_block(victim)
+        self.map.drop_block(victim)
+        self._programmed.pop(victim_key, None)
+        self.allocator.release_block(victim)
+        return True
+
+    def force_gc(self):
+        """Run one GC pass explicitly (DES generator) -> bool reclaimed."""
+        yield self._lock.request()
+        try:
+            reclaimed = yield from self._collect_once()
+        finally:
+            self._lock.release()
+        return reclaimed

@@ -18,10 +18,11 @@ import importlib
 import pytest
 
 PACKAGES = ["repro.io", "repro.sim", "repro.api", "repro.flash",
-            "repro.host", "repro.network"]
+            "repro.host", "repro.network", "repro.ftl", "repro.volume"]
 
 #: Package -> names that must stay exported (the QoS policies and
-#: bandwidth accounting from PR 3, the batch/coalescing types from
+#: bandwidth accounting from PR 3, the batch/read-coalescing types
+#: from PR 4, the volume subsystem and program-coalescing types from
 #: this PR).
 PINNED = {
     "repro.io": [
@@ -34,12 +35,19 @@ PINNED = {
         "BandwidthLedger", "LatencyHistogram", "Simulator", "Event",
     ],
     "repro.flash": [
-        "Coalescer", "first_group", "plan_groups", "FlashSplitter",
-        "SplitterPort", "FlashCard",
+        "Coalescer", "WriteCoalescer", "first_group", "plan_groups",
+        "FlashSplitter", "SplitterPort", "FlashCard",
     ],
     "repro.api": [
-        "ScenarioSpec", "WorkloadSpec", "TenantSpec", "Session",
-        "RunResult", "experiment",
+        "ScenarioSpec", "WorkloadSpec", "TenantSpec", "VolumeSpec",
+        "Session", "RunResult", "experiment",
+    ],
+    "repro.ftl": [
+        "BlockAllocator", "ALLOCATION_MODES", "PageMap",
+        "LogStructuredCore", "OutOfSpaceError", "BlockDeviceFTL",
+    ],
+    "repro.volume": [
+        "LogicalVolume",
     ],
 }
 

@@ -20,6 +20,11 @@ from repro.api import BENCH_GEOMETRY, Session
 from repro.experiments.fig13 import isp_multi_spec
 from repro.experiments.pipeline import batching_spec, qd_sweep_spec
 from repro.experiments.qos import qos_cluster_scenario, qos_gc_scenario
+from repro.experiments.volume import (
+    gc_steady_spec,
+    volume_scan_spec,
+    write_burst_spec,
+)
 
 
 def _shorten(spec, duration_ns):
@@ -78,6 +83,63 @@ def test_batching_scenario_is_deterministic(pattern, coalesce):
     spec = _shorten(batching_spec(pattern, coalesce), 1_000_000)
     first, second = _run_twice(spec)
     assert first == second
+
+
+@pytest.mark.parametrize("coalesce", [True, False])
+def test_volume_scan_scenario_is_deterministic(coalesce):
+    # The FTL map, sequential allocator, prefill and chunked refill
+    # must replay identically.
+    spec = _shorten(volume_scan_spec(coalesce), 1_000_000)
+    first, second = _run_twice(spec)
+    assert first == second
+
+
+@pytest.mark.parametrize("pattern,coalesce", [
+    ("sequential", True), ("sequential", False), ("random", True)])
+def test_write_burst_scenario_is_deterministic(pattern, coalesce):
+    # The write coalescer's staging, pacing gate and multi-page
+    # program fan-out must replay identically.
+    spec = _shorten(write_burst_spec(pattern, coalesce), 1_000_000)
+    first, second = _run_twice(spec)
+    assert first == second
+
+
+@pytest.mark.parametrize("policy", ["fifo", "wfq"])
+def test_gc_steady_scenario_is_deterministic(policy):
+    # GC victim selection, relocation through the volume-gc port and
+    # per-tenant WA accounting must replay identically.
+    spec = _shorten(gc_steady_spec(policy, 0.9), 4_000_000)
+    first, second = _run_twice(spec)
+    assert first == second
+
+
+@pytest.mark.parametrize("maker", [
+    lambda: batching_spec("sequential", True),
+    lambda: qd_sweep_spec(16),
+], ids=["isp-batching", "host-qd"])
+def test_read_paths_idle_volume_machinery(maker):
+    # repro.volume is always imported (Session pulls it in), so the
+    # meaningful no-regression pin is that host/isp scenarios build
+    # *none* of its machinery — no volumes, no extra splitter ports,
+    # no write coalescers engaged — and replay byte-identically.
+    # (That the measured numbers match the pre-volume implementation
+    # is pinned separately: the benchmark shape assertions and the
+    # fig12/fig13/qos renderings under benchmarks/results/ did not
+    # move when the subsystem landed.)
+    spec = _shorten(maker(), 800_000)
+    session = Session(spec)
+    before = session.run().to_json()
+    assert session.volumes == {}
+    assert session._volume_ifaces == {}
+    # The node's ports are exactly the three fixed ones.
+    assert [p.tenant for p in session.node.splitter.ports] == [
+        "isp", "host", "net"]
+    # Read-only workloads never touch the program path.
+    for port in session.node.splitter.ports:
+        assert (port.write_coalescer is None
+                or port.write_coalescer.commands == 0)
+    after = Session(spec).run().to_json()
+    assert before == after
 
 
 def test_random_traffic_is_untouched_by_coalescing():
