@@ -23,7 +23,7 @@ N_VERTICES = 600
 STEPS = 120
 
 
-def measure(config: str) -> float:
+def measure(config: str) -> tuple:
     session = Session(ScenarioSpec(name=f"fig20-{config}", n_nodes=3,
                                    geometry=BENCH_GEOMETRY))
     sim = session.sim

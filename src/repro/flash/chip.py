@@ -144,7 +144,18 @@ class FlashChip:
         return data, parity, flips
 
     def program(self, addr: PhysAddr, data: bytes):
-        """Page program: rejects reprogramming without erase."""
+        """Page program: rejects reprogramming without erase.
+
+        Only the no-reprogram rule is enforced here.  The in-block
+        *order* rule (ascending pages since erase) is checked per
+        command by :meth:`~repro.flash.controller.FlashCard.
+        program_pages` and preserved *across* commands by the write
+        path that owns allocation (:class:`~repro.volume.
+        LogicalVolume` gates same-block programs into allocation
+        order); raw physical access may program a block's free pages
+        in any order, which real NAND would forbid but this model
+        deliberately permits for address-pattern experiments.
+        """
         self._check(addr)
         programmed = self._programmed.setdefault(addr.block, set())
         if addr.page in programmed:

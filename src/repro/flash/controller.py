@@ -307,6 +307,13 @@ class FlashCard:
           :class:`~repro.flash.chip.FlashChip.program` independently
           rejects reprogramming a page that is already programmed).
 
+        The order rule is scoped to this command: across *separate*
+        commands the card programs whatever arrives, so preserving
+        in-block order under concurrent submission is the write path's
+        job — :class:`~repro.volume.LogicalVolume` gates same-block
+        programs into allocation order before they reach the splitter,
+        while raw physical access is deliberately unpoliced.
+
         ``requests`` mirrors :meth:`read_pages`: shared waits (tag,
         command setup) are charged to every child, per-page transfer
         and program time to each child alone.

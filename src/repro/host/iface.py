@@ -354,8 +354,16 @@ class HostInterface:
         try:
             if item.kind is IOKind.READ:
                 inline_irq = irq_coalesce <= 1
+                device_io = True
                 try:
                     if volume is not None:
+                        # Resolved synchronously, exactly as read_flow
+                        # is about to (no yield in between): an
+                        # unmapped LPN is answered from the map with no
+                        # device command — and no interrupt, matching
+                        # the uncoalesced path which charges none.
+                        device_io = (
+                            volume.physical_of(item.addr) is not None)
                         result = yield from volume.read_flow(
                             item.addr, self, software_path, item.request,
                             interrupt=inline_irq)
@@ -371,7 +379,7 @@ class HostInterface:
                     # again and later tails would skip their interrupt.
                     if not inline_irq:
                         yield from self._coalesced_interrupt(
-                            item.request, irq_coalesce)
+                            item.request, irq_coalesce, device_io)
                 self.reads.add()
                 self.read_latency.record(self.sim.now - start)
             elif item.kind is IOKind.WRITE:
@@ -394,7 +402,8 @@ class HostInterface:
             self.tracer.complete(item.request)
         batch.item_done(item, result=result, error=error)
 
-    def _coalesced_interrupt(self, request, irq_coalesce: int):
+    def _coalesced_interrupt(self, request, irq_coalesce: int,
+                             device_io: bool = True):
         """Charge one completion interrupt per drained read group.
 
         Every ``irq_coalesce``-th read completion on this interface
@@ -402,10 +411,17 @@ class HostInterface:
         interrupt for free.  The last outstanding coalescing read
         always pays (drain fallback), so no completion ever waits on
         an interrupt that is never raised.
+
+        ``device_io=False`` (a volume read the FTL answered from the
+        map) still retires from the window but accrues no interrupt
+        debt: reads that issued no device command raise no completion
+        interrupt, the same as the uncoalesced path.
         """
         self._irq_inflight -= 1
-        self._irq_accrued += 1
-        if self._irq_accrued >= irq_coalesce or self._irq_inflight == 0:
+        if device_io:
+            self._irq_accrued += 1
+        if self._irq_accrued and (self._irq_accrued >= irq_coalesce
+                                  or self._irq_inflight == 0):
             self._irq_accrued = 0
             with StageSpan(self.sim, request, "interrupt"):
                 yield self.sim.timeout(self.config.interrupt_ns)

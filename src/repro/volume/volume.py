@@ -25,7 +25,13 @@ Allocation (and GC, which runs inside the allocation critical section)
 is serialized by a one-slot lock; the physical program itself happens
 outside the lock, so ``queue_depth`` concurrent writers still fill the
 device's queue — and, with sequential allocation, fill it with
-stripe-adjacent runs the program coalescer merges.
+stripe-adjacent runs the program coalescer merges.  Programs targeting
+the *same block* are additionally gated into allocation order (which is
+ascending page order) before they are issued, so QoS arbitration across
+ports — foreground tenant ports vs. the low-priority GC port — can
+never program a lower page after a higher one inside a block: the NAND
+in-block order rule holds across commands, not just within one
+multi-page command.
 
 Write amplification is accounted per tenant: each logical write bumps
 its issuer's ``user_writes``; each GC relocation bumps the *owning*
@@ -88,6 +94,11 @@ class LogicalVolume:
         self._lock = Resource(sim, capacity=1, name=f"{name}-alloc")
         self._full_blocks: Set[_BlockKey] = set()
         self._programmed: Dict[_BlockKey, int] = {}
+        #: block -> next page expected to program; writers (foreground
+        #: and GC alike) gate on it so same-block programs reach the
+        #: chip in allocation order (the NAND in-block order rule).
+        self._program_next: Dict[_BlockKey, int] = {}
+        self._program_gates: Dict[_BlockKey, List[Event]] = {}
         #: block -> in-flight foreground reads; GC must not erase a
         #: block out from under one (it would read back erased bytes).
         self._reading: Dict[_BlockKey, int] = {}
@@ -100,6 +111,9 @@ class LogicalVolume:
         self.total_programs = 0
         self.gc_runs = 0
         self.gc_moved_pages = 0
+        #: relocations a foreground write/TRIM overtook mid-flight: the
+        #: copy was programmed but discarded (never remapped).
+        self.gc_stale_moves = 0
         self.prefilled_pages = 0
 
     # -- ownership / accounting -----------------------------------------
@@ -150,6 +164,7 @@ class LogicalVolume:
             "gc_moved": dict(self.gc_moved),
             "gc_runs": self.gc_runs,
             "gc_moved_pages": self.gc_moved_pages,
+            "gc_stale_moves": self.gc_stale_moves,
             "total_programs": self.total_programs,
             "write_amplification": {
                 tenant: self.write_amplification(tenant)
@@ -189,6 +204,33 @@ class LogicalVolume:
         else:
             self._programmed[key] = count
 
+    def _await_program_turn(self, addr: PhysAddr):
+        """Hold a program until every earlier page of its block has
+        programmed (DES generator).
+
+        The allocator hands out a block's pages in ascending order, but
+        the programs themselves race through independently-arbitrated
+        ports (tenant QoS vs. the low-priority GC port).  This gate
+        restores allocation order per block before the command is
+        issued, so the NAND in-block order rule survives arbitration.
+        Same-block pages are a full stripe apart in allocation order,
+        so the gate almost never binds at realistic queue depths.
+        """
+        key = self._key(addr)
+        while self._program_next.get(key, 0) < addr.page:
+            gate = Event(self.sim)
+            self._program_gates.setdefault(key, []).append(gate)
+            yield gate
+
+    def _program_done(self, addr: PhysAddr) -> None:
+        """Advance the block's program cursor and wake gated writers."""
+        key = self._key(addr)
+        if addr.page >= self._program_next.get(key, 0):
+            self._program_next[key] = addr.page + 1
+        for gate in self._program_gates.pop(key, ()):
+            if not gate.triggered:
+                gate.succeed()
+
     def prefill(self, start: int, count: int) -> None:
         """Map ``count`` logical pages from ``start``, instantly.
 
@@ -206,6 +248,7 @@ class LogicalVolume:
                     f"prefill exhausted the device at LPN {lpn}")
             self.map.map_page(lpn, addr)
             self._note_program(addr)
+            self._program_done(addr)
             self.prefilled_pages += 1
 
     # -- foreground flows (DES generators) -------------------------------
@@ -257,7 +300,10 @@ class LogicalVolume:
         resolving meanwhile still see the previous version (never an
         unprogrammed page), and concurrent writes to one LPN settle
         last-completer-wins, exactly like unordered writes to one LBA
-        on a real device.
+        on a real device.  Accounting follows completion too: a write
+        whose program fails charges no user write, and its page is
+        retired as programmed-and-invalid so the block still fills and
+        stays GC-eligible.
         """
         self._check_lpn(lpn)
         owner = tenant or iface.tenant
@@ -267,13 +313,24 @@ class LogicalVolume:
             addr = self.allocator.next_page()
             if addr is None:
                 raise OutOfSpaceError("no free pages after GC")
-            self.user_writes[owner] = self.user_writes.get(owner, 0) + 1
-            self.total_programs += 1
         finally:
             self._lock.release()
-        yield from iface._write_flow(addr, data, software_path, request)
+        yield from self._await_program_turn(addr)
+        try:
+            yield from iface._write_flow(addr, data, software_path,
+                                         request)
+        except BaseException:
+            # The page is burned whether or not the program landed:
+            # retire it (never mapped, so invalid) instead of leaking
+            # it — the block keeps filling toward GC eligibility.
+            self._note_program(addr)
+            self._program_done(addr)
+            raise
         self.map.map_page(lpn, addr)
         self._note_program(addr)
+        self._program_done(addr)
+        self.user_writes[owner] = self.user_writes.get(owner, 0) + 1
+        self.total_programs += 1
 
     def trim(self, lpn: int) -> None:
         """Invalidate a logical page (TRIM); space is reclaimed by GC."""
@@ -297,6 +354,13 @@ class LogicalVolume:
     def _collect_once(self):
         """Greedy GC through the dedicated port: relocate the
         fewest-valid full block, erase it.  Returns True if reclaimed.
+
+        Relocation never races foreground completions: the mapping is
+        re-checked after the relocation read and again after the
+        relocation write, so an LPN a foreground write remapped (or a
+        TRIM invalidated) while its copy was in flight keeps the newer
+        state — last-completer-wins is decided by the *map*, never by
+        GC overwriting it with stale data.
         """
         victim_key = min(
             self._full_blocks,
@@ -317,16 +381,31 @@ class LogicalVolume:
             if lpn is None:
                 continue
             result = yield from self.gc_port.read_page(page_addr)
+            if self.map.reverse(page_addr) != lpn:
+                # A foreground write or TRIM overtook the relocation
+                # while the read was in flight: nothing left to move.
+                continue
             dest = self.allocator.next_page()
             if dest is None:
                 raise OutOfSpaceError("GC found no destination page")
-            yield from self.gc_port.write_page(dest, result.data)
+            yield from self._await_program_turn(dest)
+            try:
+                yield from self.gc_port.write_page(dest, result.data)
+            finally:
+                self._note_program(dest)
+                self._program_done(dest)
+            self.total_programs += 1
+            if self.map.reverse(page_addr) != lpn:
+                # Overtaken during the program: the copy at ``dest`` is
+                # stale.  Keep the newer mapping (or the TRIM) — never
+                # clobber it with relocated data — and leave ``dest``
+                # programmed-and-invalid for a later GC pass.
+                self.gc_stale_moves += 1
+                continue
             self.map.map_page(lpn, dest)
-            self._note_program(dest)
             owner = self.owner_of(lpn)
             self.gc_moved[owner] = self.gc_moved.get(owner, 0) + 1
             self.gc_moved_pages += 1
-            self.total_programs += 1
         # Erase barrier: foreground reads that resolved a page of this
         # block before the relocation must finish first — erasing under
         # them would hand back erased bytes instead of their data.
@@ -337,6 +416,10 @@ class LogicalVolume:
         yield from self.gc_port.erase_block(victim)
         self.map.drop_block(victim)
         self._programmed.pop(victim_key, None)
+        # The block only became a victim once fully programmed, so no
+        # writer can still be gated on it; reset its program cursor for
+        # the next time the allocator opens it.
+        self._program_next.pop(victim_key, None)
         self.allocator.release_block(victim)
         return True
 

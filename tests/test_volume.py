@@ -222,10 +222,44 @@ class TestLogicalVolume:
         # GC traffic rode the dedicated port and was traced under the
         # volume-gc label.
         assert "volume-gc" in run.tenant_stats
-        # Accounting identity: total programs = user + relocated.
+        # Accounting identity: total programs = user + relocated +
+        # relocations a foreground completion overtook (programmed but
+        # never remapped).
         assert volume_stats["total_programs"] == (
             sum(volume_stats["user_writes"].values())
-            + volume_stats["gc_moved_pages"])
+            + volume_stats["gc_moved_pages"]
+            + volume_stats["gc_stale_moves"])
+
+    def test_failed_program_charges_nothing_but_burns_page(self):
+        # A write whose program fails must not count as a user write
+        # (write-amplification stays honest) and must not leak its
+        # allocated page: it is retired programmed-and-invalid so the
+        # block still fills toward GC eligibility.
+        session = Session(volume_spec(duration_ns=100))
+        volume = session.volumes[0]
+        sim = session.sim
+
+        class ExplodingIface:
+            tenant = "vol"
+
+            def _write_flow(self, addr, data, software_path, request):
+                yield sim.timeout(10)
+                raise RuntimeError("program lost")
+
+        with pytest.raises(RuntimeError, match="program lost"):
+            sim.run_process(volume.write_flow(
+                ExplodingIface(), 0, b"x" * GEO.page_size, False, None))
+        assert sum(volume.user_writes.values()) == 0
+        assert volume.total_programs == 0
+        assert volume.write_amplification() == 1.0
+        assert volume.physical_of(0) is None
+        # The burned page counts toward its block's fill...
+        assert sum(volume._programmed.values()) == 1
+        # ...and does not gate later same-block programs.
+        iface = session._volume_ifaces["vol"]
+        sim.run_process(iface.write_lpn(volume, 0, b"y" * GEO.page_size))
+        assert volume.physical_of(0) is not None
+        assert sum(volume.user_writes.values()) == 1
 
     def test_write_beyond_capacity_raises_out_of_space(self):
         # Overprovision 0 and a full prefill: the very first GC-less
@@ -254,6 +288,139 @@ class TestLogicalVolume:
 
 
 # ----------------------------------------------------------------------
+# GC vs. foreground completion races
+# ----------------------------------------------------------------------
+def raced_volume():
+    """A volume with one full stripe group and a known victim.
+
+    Prefills LPNs 0..15 (the whole stripe group: 4 chips x 4 pages),
+    then TRIMs LPNs 0-2 so the victim — fewest valid, smallest key —
+    is bus0/chip0's block, whose remaining valid pages hold LPNs
+    4, 8, 12 in relocation (page) order.
+    """
+    session = Session(volume_spec(duration_ns=100, overprovision=0.5))
+    volume = session.volumes[0]
+    volume.prefill(0, 16)
+    for lpn in range(3):
+        volume.trim(lpn)
+    return session, volume
+
+
+class TestGCRelocationRaces:
+    def test_foreground_overwrite_during_relocation_wins(self):
+        # A foreground write to LPN 8 whose program completes while
+        # GC's relocation of that very page is in flight must win:
+        # last-completer-wins is decided by the map, and GC must not
+        # remap the LPN to its (now stale) copy.
+        session, volume = raced_volume()
+        sim = session.sim
+        race = {}
+        original = volume.gc_port.write_page
+
+        def racy_write_page(addr, data, **kwargs):
+            race.setdefault("calls", []).append(addr)
+            if len(race["calls"]) == 2:
+                # LPN 8's relocation: emulate a foreground overwrite
+                # completing while this program is in flight.
+                fresh = volume.allocator.next_page()
+                volume.map.map_page(8, fresh)
+                volume._note_program(fresh)
+                volume._program_done(fresh)
+                race["fresh"] = fresh
+                race["stale_dest"] = addr
+            return original(addr, data, **kwargs)
+
+        volume.gc_port.write_page = racy_write_page
+        assert sim.run_process(volume.force_gc())
+        # The newer mapping survived; the stale copy was abandoned.
+        assert volume.physical_of(8) == race["fresh"]
+        assert volume.map.reverse(race["fresh"]) == 8
+        assert volume.map.reverse(race["stale_dest"]) is None
+        assert volume.gc_stale_moves == 1
+        assert volume.gc_moved_pages == 2          # LPNs 4 and 12
+        assert volume.gc_moved["vol"] == 2
+
+    def test_trim_during_relocation_write_not_resurrected(self):
+        session, volume = raced_volume()
+        sim = session.sim
+        calls = []
+        original = volume.gc_port.write_page
+
+        def racy_write_page(addr, data, **kwargs):
+            calls.append(addr)
+            if len(calls) == 2:
+                volume.trim(8)
+            return original(addr, data, **kwargs)
+
+        volume.gc_port.write_page = racy_write_page
+        assert sim.run_process(volume.force_gc())
+        assert volume.physical_of(8) is None
+        assert volume.map.reverse(calls[1]) is None
+        assert volume.gc_stale_moves == 1
+        assert volume.gc_moved_pages == 2
+
+    def test_trim_during_relocation_read_skips_the_copy(self):
+        # Overtaken while the read was still in flight: GC must skip
+        # the relocation entirely — no destination page burned.
+        session, volume = raced_volume()
+        sim = session.sim
+        calls = []
+        original = volume.gc_port.read_page
+
+        def racy_read_page(addr, **kwargs):
+            calls.append(addr)
+            if len(calls) == 2:
+                volume.trim(8)
+            return original(addr, **kwargs)
+
+        volume.gc_port.read_page = racy_read_page
+        assert sim.run_process(volume.force_gc())
+        assert volume.physical_of(8) is None
+        assert volume.gc_stale_moves == 0
+        assert volume.gc_moved_pages == 2
+        assert volume.total_programs == 2
+
+
+# ----------------------------------------------------------------------
+# in-block program order across commands
+# ----------------------------------------------------------------------
+class TestInBlockProgramOrder:
+    def test_programs_reach_chips_in_ascending_block_order(self):
+        # Foreground tenant writes race GC relocations through
+        # differently-arbitrated ports; the volume's per-block program
+        # gate must keep every block's physical programs in ascending
+        # page order between erases (the NAND in-block order rule).
+        session = Session(volume_spec(
+            duration_ns=30_000_000, fill=0.9, pattern="random",
+            overprovision=0.25, watermark=4, queue_depth=8))
+        store = session.node.device.store
+        orig_program = store.program
+        orig_erase = store.erase_block
+        last = {}
+        violations = []
+
+        def watched_program(addr, data):
+            key = (addr.bus, addr.chip, addr.block)
+            prev = last.get(key)
+            if prev is not None and addr.page <= prev:
+                violations.append((key, prev, addr.page))
+            last[key] = addr.page
+            return orig_program(addr, data)
+
+        def watched_erase(addr):
+            last.pop((addr.bus, addr.chip, addr.block), None)
+            return orig_erase(addr)
+
+        store.program = watched_program
+        store.erase_block = watched_erase
+        run = session.run()
+        # GC actually contended with foreground programs...
+        assert run.metrics["volume"][0]["gc_runs"] > 0
+        # ...and no block ever programmed a lower page after a higher.
+        assert violations == []
+
+
+# ----------------------------------------------------------------------
 # interrupt coalescing
 # ----------------------------------------------------------------------
 class TestIrqCoalescing:
@@ -277,6 +444,48 @@ class TestIrqCoalescing:
         assert few["count"] <= full["count"] / 2
         assert (coalesced.metrics["completions"]["host"]
                 >= per_page.metrics["completions"]["host"])
+
+    def test_unmapped_volume_reads_accrue_no_interrupt(self):
+        # An unmapped LPN is answered from the FTL map with no device
+        # command — and no completion interrupt.  The coalescing window
+        # must not charge such reads either (irq_coalesce on/off would
+        # otherwise invert on sparsely-mapped volumes).
+        session = Session(volume_spec(duration_ns=100))
+        volume = session.volumes[0]
+        iface = session._volume_ifaces["vol"]
+        sim = session.sim
+        batch = iface.submit([("read", lpn) for lpn in range(8)],
+                             queue_depth=4, volume=volume,
+                             irq_coalesce=4)
+
+        def drain(sim):
+            yield batch.done
+
+        sim.run_process(drain(sim))
+        assert all(item.result == b"\xff" * GEO.page_size
+                   for item in batch.items)
+        hist = iface.tracer.stage_histograms.get("interrupt")
+        assert hist is None or hist.count == 0
+
+    def test_mixed_mapped_unmapped_reads_still_drain_interrupts(self):
+        # Mapped reads in the same window keep their amortized
+        # interrupt; the unmapped tail must not strand accrued debt.
+        session = Session(volume_spec(duration_ns=100))
+        volume = session.volumes[0]
+        volume.prefill(0, 4)
+        iface = session._volume_ifaces["vol"]
+        sim = session.sim
+        batch = iface.submit([("read", lpn) for lpn in range(8)],
+                             queue_depth=8, volume=volume,
+                             irq_coalesce=8)
+
+        def drain(sim):
+            yield batch.done
+
+        sim.run_process(drain(sim))
+        hist = iface.tracer.stage_histograms.get("interrupt")
+        # Four device reads share exactly one drained interrupt.
+        assert hist is not None and hist.count == 1
 
     def test_irq_coalesce_validation_and_round_trip(self):
         with pytest.raises(SpecError, match="irq_coalesce"):
