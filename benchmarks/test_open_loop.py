@@ -1,0 +1,57 @@
+"""Open-loop offered-load sweep: the throughput/p99 knee at scale.
+
+Spec + assertions only: :func:`repro.experiments.open_loop.open_loop_spec`
+builds each point (one Poisson open-loop ISP tenant via
+``WorkloadSpec.arrival``) and the registered ``open_loop`` experiment
+sweeps offered load across the device's capacity (``repro run
+open_loop``), issuing over a million simulated requests — the scale the
+kernel fast lanes and 1-in-N trace sampling exist for.
+
+The open-loop signature becomes shape assertions:
+
+* below capacity, goodput tracks offered load (no self-throttling: the
+  arrival process issues regardless of completions);
+* past capacity, goodput clips at a ceiling while offered load keeps
+  climbing — the excess becomes backlog, not throughput;
+* p99 latency explodes across the knee by orders of magnitude.
+"""
+
+from conftest import run_registered
+
+from repro.experiments.open_loop import OPEN_LOOP_RATES
+
+
+def test_open_loop(benchmark, report_tables):
+    result = run_registered(benchmark, "open_loop")
+    report_tables(result)
+    rates = result.series["offered_rps"]
+    goodput = result.series["goodput_rps"]
+    p99s = result.series["p99_ns"]
+    assert tuple(rates) == OPEN_LOOP_RATES
+
+    # The sweep is the million-request scale proof.
+    assert result.metrics["total_issued"] >= 1_000_000, (
+        f"sweep issued only {result.metrics['total_issued']} requests")
+
+    # Below capacity the open loop tracks offered load.
+    for rate, done in zip(rates[:3], goodput[:3]):
+        assert done >= 0.95 * rate, (
+            f"goodput {done:.0f} rps lags offered {rate} rps below "
+            f"the knee")
+
+    # Past capacity goodput clips: the top two offered loads differ by
+    # 75k rps but goodput stays within a few percent.
+    assert goodput[-1] <= 1.05 * goodput[-2], (
+        f"goodput kept climbing past saturation: {goodput[-2]:.0f} -> "
+        f"{goodput[-1]:.0f} rps")
+    assert goodput[-1] < 0.95 * rates[-1], (
+        f"top offered load {rates[-1]} rps should exceed capacity, "
+        f"but goodput reached {goodput[-1]:.0f} rps")
+
+    # The knee in one number: p99 explodes across the sweep.
+    assert p99s[-1] >= 10 * p99s[0], (
+        f"p99 should blow up past the knee: {p99s[0]:.0f} -> "
+        f"{p99s[-1]:.0f} ns")
+
+    # The reported knee is an interior point of the sweep.
+    assert rates[0] <= result.metrics["knee_rps"] <= rates[-1]

@@ -13,11 +13,13 @@ Commands
 ``run <id> [--json PATH]``
     Run one registered experiment, print its tables, and optionally
     save the machine-readable :class:`~repro.api.RunResult` as JSON.
-``bench [--out PATH] [ids...]``
+``bench [--out PATH] [--baseline PATH] [--wall-clock-only] [ids...]``
     Run the fixed perf-snapshot experiment set and write one
     machine-readable JSON file (wall-clock + key metrics per
     experiment) — the artifact CI archives per commit so the bench
-    trajectory is comparable over time.
+    trajectory is comparable over time.  ``--baseline`` diffs wall
+    clocks against a committed snapshot (exit 1 past a generous
+    ``--threshold``); ``--wall-clock-only`` drops the metrics payload.
 """
 
 from __future__ import annotations
@@ -181,6 +183,40 @@ def _write_section(results: dict) -> dict:
     return section
 
 
+def _compare_baseline(snapshot: dict, baseline: dict,
+                      threshold: float) -> int:
+    """Print the wall-clock diff vs a baseline snapshot.
+
+    Wall clock on shared CI runners is noisy, so the threshold is
+    deliberately generous: only a sustained blow-up (an experiment
+    ``threshold``x slower than the committed baseline) fails the
+    check.  Returns the number of such regressions.
+    """
+    regressions = 0
+    comparison: dict = {}
+    print(f"\n{'experiment':12s} {'base':>8s} {'now':>8s} {'speedup':>8s}")
+    for exp_id, entry in snapshot["experiments"].items():
+        base = baseline.get("experiments", {}).get(exp_id)
+        if base is None:
+            print(f"{exp_id:12s} {'-':>8s} {entry['wall_clock_s']:7.2f}s "
+                  f"{'new':>8s}")
+            continue
+        base_s = base["wall_clock_s"]
+        now_s = entry["wall_clock_s"]
+        speedup = base_s / now_s if now_s else float("inf")
+        slow = now_s > threshold * base_s
+        comparison[exp_id] = {"baseline_wall_clock_s": base_s,
+                              "speedup": round(speedup, 3)}
+        flag = "  REGRESSION" if slow else ""
+        print(f"{exp_id:12s} {base_s:7.2f}s {now_s:7.2f}s "
+              f"{speedup:7.2f}x{flag}")
+        if slow:
+            regressions += 1
+    snapshot["baseline"] = {"threshold": threshold,
+                            "experiments": comparison}
+    return regressions
+
+
 def cmd_bench(args) -> int:
     import json
     import platform
@@ -191,7 +227,7 @@ def cmd_bench(args) -> int:
 
     experiments = list(args.experiments) or list(BENCH_SET)
     snapshot = {
-        "schema": 2,
+        "schema": 3,
         "version": version,
         "python": platform.python_version(),
         "experiments": {},
@@ -204,21 +240,34 @@ def cmd_bench(args) -> int:
         wall = time.perf_counter() - start
         total += wall
         results[exp_id] = result
-        snapshot["experiments"][exp_id] = {
+        entry = {
             "wall_clock_s": round(wall, 3),
             "simulated_ns": result.elapsed_ns,
-            "metrics": result.to_dict()["metrics"],
         }
+        if not args.wall_clock_only:
+            entry["metrics"] = result.to_dict()["metrics"]
+        snapshot["experiments"][exp_id] = entry
         print(f"{exp_id:12s} {wall:7.2f}s wall")
-    write_section = _write_section(results)
-    if write_section:
-        snapshot["write"] = write_section
+    if not args.wall_clock_only:
+        write_section = _write_section(results)
+        if write_section:
+            snapshot["write"] = write_section
     snapshot["total_wall_clock_s"] = round(total, 3)
+    regressions = 0
+    if args.baseline:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+        regressions = _compare_baseline(snapshot, baseline,
+                                        args.threshold)
     with open(args.out, "w") as fh:
         json.dump(snapshot, fh, indent=2)
         fh.write("\n")
     print(f"\nwrote perf snapshot ({len(experiments)} experiments, "
           f"{total:.1f}s) to {args.out}")
+    if regressions:
+        print(f"{regressions} experiment(s) regressed past "
+              f"{args.threshold:.1f}x the baseline", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -244,6 +293,17 @@ def main(argv=None) -> int:
                               default="BENCH_pipeline.json",
                               help="snapshot path "
                                    "(default: BENCH_pipeline.json)")
+    bench_parser.add_argument("--wall-clock-only", action="store_true",
+                              help="record only wall clock per "
+                                   "experiment (skip the metrics "
+                                   "payload)")
+    bench_parser.add_argument("--baseline", metavar="PATH", default=None,
+                              help="compare wall clocks against a prior "
+                                   "snapshot; exit 1 on regression")
+    bench_parser.add_argument("--threshold", type=float, default=3.0,
+                              help="regression factor for --baseline "
+                                   "(default: 3.0 -- generous, CI "
+                                   "runners are noisy)")
     args = parser.parse_args(argv)
     handlers = {"info": cmd_info, "demo": cmd_demo, "list": cmd_list,
                 "experiments": cmd_list, "run": cmd_run,

@@ -16,6 +16,7 @@ scenario: :meth:`run` executes the spec's
 from __future__ import annotations
 
 import itertools
+import math
 import random
 from typing import Callable, Dict, List, Optional
 
@@ -47,7 +48,8 @@ class Session:
         self.spec = spec
         self.sim = Simulator()
         self.tracer: Optional[RequestTracer] = (
-            RequestTracer(self.sim) if spec.trace else None)
+            RequestTracer(self.sim, sample=spec.trace_sample)
+            if spec.trace else None)
         node_kwargs = dict(
             geometry=spec.geometry,
             flash_timing=spec.timing,
@@ -186,8 +188,10 @@ class Session:
             raise SpecError(
                 f"scenario {self.spec.name!r} has no workload to run")
         counters = {t.name: 0 for t in workload.tenants}
+        issued = {t.name: 0 for t in workload.tenants}
         shared_rng = random.Random(workload.seed)
         depth = workload.queue_depth
+        open_loop = workload.arrival is not None
         for tenant in workload.tenants:
             issue = None if tenant.background else self._issuer(tenant)
             for wid in range(tenant.workers):
@@ -196,6 +200,9 @@ class Session:
                 if tenant.background:
                     worker = self._gc_worker(tenant, rng,
                                              workload.duration_ns, counters)
+                elif open_loop:
+                    worker = self._open_loop_dispatcher(
+                        tenant, rng, wid, issue, workload, counters, issued)
                 elif depth > 1:
                     worker = self._async_worker(tenant, rng, wid, issue,
                                                 workload.duration_ns,
@@ -208,7 +215,8 @@ class Session:
             self.sim.run()
         else:
             self.sim.run(until=workload.duration_ns)
-        return self._workload_result(counters)
+        return self._workload_result(
+            counters, issued if open_loop else None)
 
     def _addr_space(self, tenant: TenantSpec) -> int:
         geometry = self.spec.geometry
@@ -388,6 +396,108 @@ class Session:
             yield sim.any_of(pending)
             pending = [p for p in pending if not p.triggered]
 
+    def _arrival_gaps(self, rng: random.Random, rate_rps: float):
+        """Endless inter-arrival gaps (ns) for the workload's process.
+
+        ``rate_rps`` is this dispatcher's share of the offered load.
+        All randomness comes from ``rng``, so a rerun of the same spec
+        replays the identical arrival sequence.
+        """
+        workload = self.spec.workload
+        rate = rate_rps / 1e9  # requests per nanosecond
+        expovariate = rng.expovariate
+        if workload.arrival == "poisson":
+            while True:
+                yield int(expovariate(rate))
+        elif workload.arrival == "onoff":
+            sessions = workload.arrival_sessions
+            mean_on = float(workload.arrival_mean_on_ns)
+            mean_off = float(workload.arrival_mean_off_ns)
+            duty = (mean_on / (mean_on + mean_off)
+                    if mean_off > 0 else 1.0)
+            # Per-session rate while ON, scaled so the long-run
+            # aggregate is rate_rps.
+            per_on = rate / (sessions * duty)
+            n_on = max(1, round(sessions * duty))
+            random_ = rng.random
+            elapsed = 0.0
+            # Competing exponentials over the CTMC: next event is an
+            # arrival (rate n_on*per_on), a session turning OFF
+            # (n_on/mean_on) or one turning ON ((S-n_on)/mean_off).
+            while True:
+                off_to_on = ((sessions - n_on) / mean_off
+                             if mean_off > 0 else 0.0)
+                on_to_off = n_on / mean_on
+                arrivals = n_on * per_on
+                total = arrivals + off_to_on + on_to_off
+                elapsed += expovariate(total)
+                pick = random_() * total
+                if pick < arrivals:
+                    yield int(elapsed)
+                    elapsed = 0.0
+                elif pick < arrivals + off_to_on:
+                    n_on += 1
+                else:
+                    n_on -= 1
+        else:  # diurnal
+            period = workload.arrival_period_ns
+            amplitude = workload.arrival_amplitude
+            peak = rate * (1.0 + amplitude)
+            two_pi = 2.0 * math.pi
+            random_ = rng.random
+            clock = 0.0
+            elapsed = 0.0
+            # Thinning against the peak rate: candidate arrivals at
+            # rate ``peak``, each kept with probability rate(t)/peak.
+            while True:
+                gap = expovariate(peak)
+                clock += gap
+                elapsed += gap
+                current = rate * (
+                    1.0 + amplitude * math.sin(two_pi * clock / period))
+                if random_() * peak < current:
+                    yield int(elapsed)
+                    elapsed = 0.0
+
+    def _open_loop_dispatcher(self, tenant: TenantSpec, rng: random.Random,
+                              wid: int, issue: Callable,
+                              workload, counters: dict, issued: dict):
+        """One open-loop dispatcher: requests arrive on the workload's
+        arrival process and are issued fire-and-forget, regardless of
+        completions — the offered load does not throttle when the
+        device falls behind (that *is* the experiment).
+
+        The dispatcher stands in for thousands of thin sessions
+        multiplexed onto the tenant's port: the arrival process models
+        their aggregate behaviour (exactly, for Poisson; at the
+        session-population level for on/off), so one process per
+        tenant-worker drives any session count without per-session
+        bookkeeping.  A tenant's ``workers`` dispatchers split the
+        offered load evenly.
+        """
+        sim = self.sim
+        name = tenant.name
+        start, size = self._window(tenant)
+        ops = self._op_stream(tenant, rng, wid, start, size)
+        deadline = workload.duration_ns
+        gaps = self._arrival_gaps(
+            rng, workload.arrival_rate_rps / tenant.workers)
+
+        def counted(event) -> None:
+            counters[name] += 1
+
+        process = sim.process
+        timeout = sim.timeout
+        while True:
+            gap = next(gaps)
+            if sim.now + gap >= deadline:
+                return
+            yield timeout(gap)
+            kind, index = next(ops)
+            issued[name] += 1
+            proc = process(issue(kind, index))
+            proc.callbacks.append(counted)
+
     def _gc_worker(self, tenant: TenantSpec, rng: random.Random,
                    deadline: int, counters: dict):
         """One GC/wear-leveling loop: read a victim page, relocate it
@@ -495,7 +605,8 @@ class Session:
                 yield sim.process(read(addr))
         return issue
 
-    def _workload_result(self, counters: dict) -> RunResult:
+    def _workload_result(self, counters: dict,
+                         issued: Optional[dict] = None) -> RunResult:
         workload = self.spec.workload
         window = self.sim.now if workload.drain else workload.duration_ns
         page = self.spec.geometry.page_size
@@ -514,6 +625,8 @@ class Session:
             "window_ns": window,
             "splitter_bandwidth": self._splitter_bandwidth(window),
         })
+        if issued is not None:
+            result.metrics["issued"] = dict(issued)
         if self.spec.coalesce:
             result.metrics["coalescing"] = {
                 node.node_id: node.splitter.coalescing_stats()

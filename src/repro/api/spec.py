@@ -505,6 +505,30 @@ class WorkloadSpec:
     kinds a windowed process driver), which is what saturates the
     card.  Background (GC) tenants always run synchronously — their
     read/relocate/erase loop is inherently ordered.
+
+    ``arrival`` switches every foreground tenant from the closed loop
+    to an *open-loop* arrival process: requests arrive on their own
+    clock regardless of completions (the millions-of-users shape — a
+    port multiplexing thousands of lightweight sessions, each rarely
+    active).  Three processes are supported:
+
+    * ``"poisson"`` — memoryless aggregate arrivals at
+      ``arrival_rate_rps`` requests/second (the superposition of
+      ``arrival_sessions`` independent thin sessions *is* Poisson, so
+      the session count does not change the process).
+    * ``"onoff"`` — ``arrival_sessions`` sessions toggle between ON
+      (issuing) and OFF (idle) with exponential dwell times
+      ``arrival_mean_on_ns`` / ``arrival_mean_off_ns``; the per-session
+      ON rate is scaled so the long-run aggregate offered load is
+      ``arrival_rate_rps``.  Produces bursts at the session timescale.
+    * ``"diurnal"`` — a Poisson process whose rate swings sinusoidally:
+      ``rate(t) = arrival_rate_rps * (1 + arrival_amplitude *
+      sin(2*pi*t / arrival_period_ns))``, sampled by thinning against
+      the peak rate (deterministic given the workload seed).
+
+    Open-loop arrivals are fire-and-forget: with ``drain=False`` the
+    run cuts off at ``duration_ns`` (completions before the deadline
+    count), with ``drain=True`` every in-flight request finishes.
     """
 
     duration_ns: int
@@ -512,6 +536,13 @@ class WorkloadSpec:
     seed: int = 1234
     drain: bool = False
     queue_depth: int = 1
+    arrival: Optional[str] = None
+    arrival_rate_rps: float = 0.0
+    arrival_sessions: int = 1000
+    arrival_mean_on_ns: int = 1_000_000
+    arrival_mean_off_ns: int = 9_000_000
+    arrival_period_ns: int = 10_000_000
+    arrival_amplitude: float = 0.8
 
     def __post_init__(self):
         if self.duration_ns <= 0:
@@ -520,6 +551,35 @@ class WorkloadSpec:
         if self.queue_depth < 1:
             raise SpecError(f"queue_depth must be >= 1, "
                             f"got {self.queue_depth}")
+        if self.arrival is not None:
+            if self.arrival not in ("poisson", "onoff", "diurnal"):
+                raise SpecError(
+                    f"unknown arrival process {self.arrival!r} "
+                    f"(expected poisson, onoff or diurnal)")
+            if self.arrival_rate_rps <= 0:
+                raise SpecError(
+                    f"arrival workloads need arrival_rate_rps > 0, "
+                    f"got {self.arrival_rate_rps}")
+            if self.arrival_sessions < 1:
+                raise SpecError(
+                    f"arrival_sessions must be >= 1, "
+                    f"got {self.arrival_sessions}")
+            if self.arrival == "onoff" and (
+                    self.arrival_mean_on_ns <= 0
+                    or self.arrival_mean_off_ns < 0):
+                raise SpecError(
+                    f"onoff arrivals need arrival_mean_on_ns > 0 and "
+                    f"arrival_mean_off_ns >= 0, got "
+                    f"{self.arrival_mean_on_ns}/{self.arrival_mean_off_ns}")
+            if self.arrival == "diurnal":
+                if self.arrival_period_ns <= 0:
+                    raise SpecError(
+                        f"diurnal arrivals need arrival_period_ns > 0, "
+                        f"got {self.arrival_period_ns}")
+                if not 0.0 <= self.arrival_amplitude <= 1.0:
+                    raise SpecError(
+                        f"arrival_amplitude must be in [0, 1], "
+                        f"got {self.arrival_amplitude}")
         tenants = tuple(
             t if isinstance(t, TenantSpec) else TenantSpec(**t)
             for t in self.tenants)
@@ -531,10 +591,21 @@ class WorkloadSpec:
             raise SpecError(f"duplicate tenant names: {names}")
 
     def to_dict(self) -> dict:
-        return {"duration_ns": self.duration_ns,
+        data = {"duration_ns": self.duration_ns,
                 "tenants": [t.to_dict() for t in self.tenants],
                 "seed": self.seed, "drain": self.drain,
                 "queue_depth": self.queue_depth}
+        if self.arrival is not None:
+            data.update({
+                "arrival": self.arrival,
+                "arrival_rate_rps": self.arrival_rate_rps,
+                "arrival_sessions": self.arrival_sessions,
+                "arrival_mean_on_ns": self.arrival_mean_on_ns,
+                "arrival_mean_off_ns": self.arrival_mean_off_ns,
+                "arrival_period_ns": self.arrival_period_ns,
+                "arrival_amplitude": self.arrival_amplitude,
+            })
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "WorkloadSpec":
@@ -580,6 +651,7 @@ class ScenarioSpec:
     host_queue_depth: int = 8
     irq_coalesce: int = 1
     trace: bool = True
+    trace_sample: int = 1
     volume: Optional[VolumeSpec] = None
     workload: Optional[WorkloadSpec] = None
 
@@ -640,6 +712,9 @@ class ScenarioSpec:
         if self.irq_coalesce < 1:
             raise SpecError(f"irq_coalesce must be >= 1, "
                             f"got {self.irq_coalesce}")
+        if self.trace_sample < 1:
+            raise SpecError(f"trace_sample must be >= 1, "
+                            f"got {self.trace_sample}")
         if self.workload is not None:
             policy_labels: Dict[str, str] = {}
             for tenant in self.workload.tenants:
@@ -659,15 +734,17 @@ class ScenarioSpec:
                         f"for remote_isp access")
                 if (tenant.has_policy_qos
                         and tenant.access == "remote_isp"
-                        and not self.trace):
+                        and (not self.trace or self.trace_sample > 1)):
                     # A remote tenant's scheduling identity rides on
-                    # the traced request; without tracing it collapses
-                    # into the shared 'net' port label and the
-                    # configured weight/rate silently never applies.
+                    # the traced request; without tracing (or with
+                    # 1-in-N sampling leaving most requests untraced)
+                    # it collapses into the shared 'net' port label and
+                    # the configured weight/rate silently never
+                    # applies.
                     raise SpecError(
                         f"tenant {tenant.name!r} programs weight/rate "
                         f"QoS on a remote path, which requires "
-                        f"trace=True")
+                        f"trace=True and trace_sample=1")
                 if tenant.has_policy_qos:
                     label = tenant.sched_label()
                     other = policy_labels.get(label)
@@ -783,6 +860,7 @@ class ScenarioSpec:
             "host_queue_depth": self.host_queue_depth,
             "irq_coalesce": self.irq_coalesce,
             "trace": self.trace,
+            "trace_sample": self.trace_sample,
             "volume": (None if self.volume is None
                        else self.volume.to_dict()),
             "workload": (None if self.workload is None

@@ -204,7 +204,7 @@ class BlueDBMCluster:
         recorded as an annotation — the same ``2 * hops * hop_latency``
         term :meth:`_attribute` uses — rather than a timed span.
         """
-        if request is None:
+        if not request:
             return
         hops = self.network.hop_count(src, dst) if src != dst else 0
         request.annotate("network",

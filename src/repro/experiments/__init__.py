@@ -25,3 +25,4 @@ from . import ext  # noqa: F401,E402
 from . import qos  # noqa: F401,E402
 from . import pipeline  # noqa: F401,E402
 from . import volume  # noqa: F401,E402
+from . import open_loop  # noqa: F401,E402

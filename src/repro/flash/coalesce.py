@@ -212,8 +212,7 @@ class Coalescer:
                 yield self._gate
                 self._gate = None
             group = self._take_group()
-            sim.process(self._execute(group),
-                        name=f"coalesced-{self.port.tenant}")
+            sim.process(self._execute(group))
 
     def _take_group(self) -> List[_Pending]:
         """Remove the next merged command's members from staging."""
@@ -361,7 +360,7 @@ class WriteCoalescer:
         # while the port's slots are busy, exactly where the uncoalesced
         # path would have waited on the slot itself — charge it to the
         # same stage so on/off traces stay comparable.
-        if request is not None:
+        if request:
             request.enter("queue", self.sim.now)
         self._staging.append(pending)
         if self._gate is not None and not self._gate.triggered:
@@ -399,15 +398,14 @@ class WriteCoalescer:
                 self._slot_gate = None
             group = self._take_group()
             self._inflight += 1
-            sim.process(self._execute(group),
-                        name=f"coalesced-write-{self.port.tenant}")
+            sim.process(self._execute(group))
 
     def _take_group(self) -> List[_PendingWrite]:
         """Remove the next merged command's members from staging."""
         group, self._staging = _carve(self._staging, self.max_pages)
         now = self.sim.now
         for pending in group:
-            if pending.request is not None:
+            if pending.request:
                 pending.request.exit("queue", now)
         return group
 

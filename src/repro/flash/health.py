@@ -96,6 +96,16 @@ class BadBlockTable:
         fraction = int.from_bytes(digest[:8], "big") / (1 << 64)
         return fraction < self.factory_bad_rate
 
+    @property
+    def pristine(self) -> bool:
+        """True when no block anywhere can be bad (hot-path fast test).
+
+        With a zero factory-bad rate and no grown failures, per-address
+        ``is_bad`` checks are pure overhead; multi-page commands skip
+        them wholesale while this holds.
+        """
+        return not self._grown and self.factory_bad_rate <= 0.0
+
     def is_bad(self, addr: PhysAddr) -> bool:
         key = _block_key(addr)
         return key in self._grown or self._factory_bad(key)

@@ -114,7 +114,7 @@ class FlashServer:
         """
         result = yield self.sim.process(
             self.port.read_page(addr, request=request))
-        if request is not None:
+        if request:
             request.enter("reorder", self.sim.now)
         return result
 
@@ -146,7 +146,7 @@ class FlashServer:
                 (sim.process(self._stream_read(addr, request)), request))
 
         def emit(result, request):
-            if request is not None:
+            if request:
                 request.exit("reorder", sim.now)
                 tracer.complete(request)
             return result

@@ -29,7 +29,7 @@ kept private bookkeeping; now they all speak :class:`IORequest`:
 """
 
 from .batch import BatchItem, RequestBatch
-from .request import IOKind, IORequest
+from .request import UNSAMPLED, IOKind, IORequest
 from .scheduler import (
     POLICIES,
     EarliestDeadlinePolicy,
@@ -50,6 +50,7 @@ from .tracer import RequestTracer
 __all__ = [
     "IOKind",
     "IORequest",
+    "UNSAMPLED",
     "BatchItem",
     "RequestBatch",
     "Stage",

@@ -34,9 +34,44 @@ import itertools
 from enum import Enum
 from typing import Any, Dict, Optional
 
-__all__ = ["IOKind", "IORequest"]
+__all__ = ["IOKind", "IORequest", "UNSAMPLED"]
 
 _req_ids = itertools.count()
+
+
+class _Unsampled:
+    """Falsy request stand-in for arrivals outside the 1-in-N sample.
+
+    :meth:`~repro.io.tracer.RequestTracer.start` returns
+    :data:`UNSAMPLED` — never ``None`` — for arrivals it skips, and
+    downstream layers *adopt* it exactly like a real request.  That
+    distinction matters: ``request=None`` means "nobody upstream is
+    tracing this operation", so a layer with a tracer opens its own
+    request; ``UNSAMPLED`` means "an upstream tracer already counted
+    this arrival and chose not to trace it", so no layer may open a
+    replacement (which would double-count arrivals and skew the
+    weight-scaled statistics).  It is falsy, every
+    :class:`~repro.io.stage.StageSpan` over it is a shared no-op, and
+    ``complete()`` ignores it.  The class attributes satisfy the QoS
+    fallbacks: scheduling reads ``tenant``/``priority``/``deadline_ns``
+    off adopted requests and falls back to the port's configured
+    identity for all three.
+    """
+
+    __slots__ = ()
+    tenant = ""
+    priority: Optional[int] = None
+    deadline_ns: Optional[int] = None
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "UNSAMPLED"
+
+
+#: The singleton unsampled-arrival marker (see :class:`_Unsampled`).
+UNSAMPLED = _Unsampled()
 
 
 class IOKind(Enum):

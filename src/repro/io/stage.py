@@ -35,6 +35,26 @@ class Stage(Protocol):
         ...
 
 
+class _NullSpan:
+    """Shared do-nothing span for untraced requests.
+
+    One module-level instance serves every untraced ``with`` block, so
+    a pipeline running without a tracer (or whose request fell outside
+    the 1-in-N trace sample) allocates nothing per stage.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
 class StageSpan:
     """Charge the wall-clock of a ``with`` block to ``request``'s stage.
 
@@ -44,10 +64,19 @@ class StageSpan:
             yield sim.process(cpu.compute(cost))
 
     ``request=None`` makes the span a no-op, so call sites don't need
-    to branch on whether tracing is attached.
+    to branch on whether tracing is attached — and no span object is
+    allocated at all (a shared null span is returned instead).
     """
 
     __slots__ = ("sim", "request", "stage")
+
+    def __new__(cls, sim: Simulator, request: Optional[IORequest],
+                stage: str):
+        if not request:
+            # None or UNSAMPLED: __init__ is skipped because _NullSpan
+            # is not a StageSpan.
+            return _NULL_SPAN
+        return object.__new__(cls)
 
     def __init__(self, sim: Simulator, request: Optional[IORequest],
                  stage: str):
@@ -56,13 +85,11 @@ class StageSpan:
         self.stage = stage
 
     def __enter__(self) -> "StageSpan":
-        if self.request is not None:
-            self.request.enter(self.stage, self.sim.now)
+        self.request.enter(self.stage, self.sim.now)
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        if self.request is not None:
-            self.request.exit(self.stage, self.sim.now)
+        self.request.exit(self.stage, self.sim.now)
 
 
 class BatchStageSpan:
@@ -79,16 +106,24 @@ class BatchStageSpan:
     *amortization* shows up where it belongs: N children share one
     span instead of paying N sequential ones.
 
-    ``requests`` may contain ``None`` entries (untraced children); they
-    are skipped, so call sites never branch on tracing.
+    ``requests`` may contain ``None`` or
+    :data:`~repro.io.request.UNSAMPLED` entries (untraced children);
+    they are skipped, so call sites never branch on tracing.
     """
 
     __slots__ = ("sim", "requests", "stage")
 
+    def __new__(cls, sim: Simulator,
+                requests: Iterable[Optional[IORequest]], stage: str):
+        for request in requests:
+            if request:
+                return object.__new__(cls)
+        return _NULL_SPAN
+
     def __init__(self, sim: Simulator,
                  requests: Iterable[Optional[IORequest]], stage: str):
         self.sim = sim
-        self.requests = [r for r in requests if r is not None]
+        self.requests = [r for r in requests if r]
         self.stage = stage
 
     def __enter__(self) -> "BatchStageSpan":

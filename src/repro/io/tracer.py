@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional
 
 from ..sim import LatencyHistogram, Simulator
-from .request import IOKind, IORequest
+from .request import UNSAMPLED, IOKind, IORequest
 
 __all__ = ["RequestTracer"]
 
@@ -35,13 +35,28 @@ class RequestTracer:
     ``keep_requests`` bounds how many completed request objects are
     retained for inspection (histograms and counters always cover every
     completion).
+
+    ``sample`` enables deterministic 1-in-N tracing for open-loop-scale
+    runs: :meth:`start` returns a request object for every ``sample``-th
+    arrival (counted per tracer, so reruns of the same scenario make
+    byte-identical sampling decisions) and ``None`` for the rest — the
+    whole pipeline then runs span-free for unsampled requests.  Each
+    traced completion is folded in with weight ``N``, keeping aggregate
+    counts, byte totals, and histogram masses unbiased; percentiles
+    come from the sampled subset.  ``sample=1`` (the default) traces
+    everything and is byte-identical to the pre-sampling tracer.
     """
 
-    def __init__(self, sim: Simulator, keep_requests: int = 100_000):
+    def __init__(self, sim: Simulator, keep_requests: int = 100_000,
+                 sample: int = 1):
         if keep_requests < 0:
             raise ValueError(f"negative keep_requests {keep_requests}")
+        if sample < 1:
+            raise ValueError(f"trace sample must be >= 1, got {sample}")
         self.sim = sim
         self.keep_requests = keep_requests
+        self.sample = sample
+        self.started = 0
         self.requests: List[IORequest] = []
         self.dropped = 0
         self.stage_histograms: Dict[str, LatencyHistogram] = {}
@@ -53,39 +68,52 @@ class RequestTracer:
     # -- lifecycle ------------------------------------------------------
     def start(self, kind: "IOKind | str", addr: Any, size: int,
               tenant: str = "default", priority: Optional[int] = None,
-              deadline_ns: Optional[int] = None) -> IORequest:
-        """Create a request stamped as issued now."""
+              deadline_ns: Optional[int] = None) -> Optional[IORequest]:
+        """Create a request stamped as issued now.
+
+        Returns the falsy :data:`~repro.io.request.UNSAMPLED` marker
+        for arrivals outside the 1-in-N sample; every downstream span
+        and the final :meth:`complete` then no-op, and lower layers
+        *adopt* the marker instead of opening a replacement request
+        (which would count the arrival twice).
+        """
+        started = self.started
+        self.started = started + 1
+        if started % self.sample:
+            return UNSAMPLED
         return IORequest(kind, addr, size, tenant=tenant, priority=priority,
                          deadline_ns=deadline_ns, issued_ns=self.sim.now)
 
     def complete(self, request: Optional[IORequest]) -> None:
         """Stamp completion and fold the request into the statistics.
 
-        ``None`` is accepted (and ignored) so call sites can complete
-        unconditionally whether or not tracing was attached.
+        ``None`` and :data:`~repro.io.request.UNSAMPLED` are accepted
+        (and ignored) so call sites can complete unconditionally
+        whether or not tracing was attached.
         """
-        if request is None:
+        if not request:
             return
         if request.issued_ns is None:
             request.issued_ns = self.sim.now
         request.completed_ns = self.sim.now
         tenant = request.tenant
+        weight = self.sample
         for stage, duration in request.stages.items():
             hist = self.stage_histograms.get(stage)
             if hist is None:
                 hist = self.stage_histograms[stage] = LatencyHistogram(stage)
-            hist.record(duration)
+            hist.record(duration, weight)
         stats = self.tenant_latency.get(tenant)
         if stats is None:
             stats = self.tenant_latency[tenant] = LatencyHistogram(tenant)
-        stats.record(request.total_ns)
+        stats.record(request.total_ns, weight)
         self.tenant_completed[tenant] = (
-            self.tenant_completed.get(tenant, 0) + 1)
+            self.tenant_completed.get(tenant, 0) + weight)
         self.tenant_bytes[tenant] = (
-            self.tenant_bytes.get(tenant, 0) + request.size)
+            self.tenant_bytes.get(tenant, 0) + request.size * weight)
         if request.missed_deadline():
             self.tenant_deadline_misses[tenant] = (
-                self.tenant_deadline_misses.get(tenant, 0) + 1)
+                self.tenant_deadline_misses.get(tenant, 0) + weight)
         if len(self.requests) < self.keep_requests:
             self.requests.append(request)
         else:

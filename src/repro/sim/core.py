@@ -9,6 +9,27 @@ Time is kept in integer **nanoseconds** so that scheduling is exact and
 deterministic; helpers in :mod:`repro.sim.units` convert to and from the
 microsecond/GB-per-second quantities the paper reports.
 
+Performance
+-----------
+The kernel is the hot loop of every experiment, so it is built around
+two observations profiled from the heavy scenarios (``qd_sweep``,
+``gc_steady``, the open-loop arrival workloads):
+
+* **Most events are immediate.**  80–90% of all scheduling calls carry
+  ``delay == 0`` — process bootstraps, process completions, ``succeed()``
+  wakeups, resource grants.  Those bypass the time-ordered heap entirely
+  and ride a FIFO *ready lane* (a deque).  Global ordering is unchanged:
+  every scheduling call still draws a ticket from one monotonic counter,
+  and the loop compares the ready lane's head ticket against the heap
+  top's ticket on time ties, so the merged order is exactly the order
+  the single heap used to produce — results are bit-identical.
+* **Process wakeups don't need Event objects.**  Bootstrapping a new
+  process, resuming one that yielded an already-processed event, and
+  interrupting one used to allocate a throwaway ``Event`` each.  The
+  ready lane carries those as plain ``(ticket, None, resume, value,
+  ok)`` tuples instead — no allocation beyond the tuple, no callback
+  list, one call to wake.
+
 Example
 -------
 >>> sim = Simulator()
@@ -25,8 +46,8 @@ Example
 from __future__ import annotations
 
 import heapq
-import itertools
-from typing import Any, Callable, Generator, Iterable, Optional
+from collections import deque
+from typing import Any, Generator, Iterable, Optional
 
 __all__ = [
     "Event",
@@ -102,7 +123,15 @@ class Event:
             raise SimulationError(f"{self!r} already triggered")
         self._triggered = True
         self._value = value
-        self.sim._schedule(self, delay)
+        if delay == 0:
+            # Inlined ready-lane schedule: succeed() is the single
+            # busiest trigger path (resource grants, queue handoffs).
+            sim = self.sim
+            eid = sim._eid
+            sim._eid = eid + 1
+            sim._ready.append((eid, self))
+        else:
+            self.sim._schedule(self, delay)
         return self
 
     def fail(self, exception: BaseException, delay: int = 0) -> "Event":
@@ -111,6 +140,9 @@ class Event:
             raise SimulationError(f"{self!r} already triggered")
         if not isinstance(exception, BaseException):
             raise SimulationError("fail() requires an exception instance")
+        if delay < 0:
+            raise SimulationError(
+                f"cannot fail {self!r} with negative delay {delay}")
         self._triggered = True
         self._ok = False
         self._value = exception
@@ -129,13 +161,24 @@ class Timeout(Event):
     __slots__ = ("delay",)
 
     def __init__(self, sim: "Simulator", delay: int, value: Any = None):
+        # Fully inlined (no Event.__init__ / _schedule calls): timeouts
+        # are the bulk of all heap traffic, so construction is one
+        # straight-line body.
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay}")
-        super().__init__(sim)
-        self.delay = delay
-        self._triggered = True
+        self.sim = sim
+        self.callbacks = []
         self._value = value
-        sim._schedule(self, delay)
+        self._ok = True
+        self._triggered = True
+        self._processed = False
+        self.delay = delay
+        eid = sim._eid
+        sim._eid = eid + 1
+        if delay:
+            heapq.heappush(sim._queue, (sim.now + delay, eid, self))
+        else:
+            sim._ready.append((eid, self))
 
 
 class Process(Event):
@@ -146,21 +189,39 @@ class Process(Event):
     event's exception is thrown into it).
     """
 
-    __slots__ = ("_generator", "_waiting_on", "name")
+    __slots__ = ("_generator", "_send", "_waiting_on", "_name")
 
     def __init__(self, sim: "Simulator", generator: Generator,
                  name: str = ""):
-        if not hasattr(generator, "send"):
+        # Binding .send up front both validates the argument and saves
+        # an attribute lookup on every resume.
+        try:
+            self._send = generator.send
+        except AttributeError:
             raise SimulationError(
                 f"Process requires a generator, got {type(generator).__name__}"
-            )
-        super().__init__(sim)
+            ) from None
+        # Inlined Event.__init__ (one process per modeled operation adds
+        # up — see the module docstring).
+        self.sim = sim
+        self.callbacks = []
+        self._value = None
+        self._ok = True
+        self._triggered = False
+        self._processed = False
         self._generator = generator
         self._waiting_on: Optional[Event] = None
-        self.name = name or getattr(generator, "__name__", "process")
-        bootstrap = Event(sim)
-        bootstrap.callbacks.append(self._resume)
-        bootstrap.succeed()
+        self._name = name
+        # Bootstrap: first resume at the current time, in scheduling
+        # order — a direct ready-lane wake, no throwaway Event.
+        eid = sim._eid
+        sim._eid = eid + 1
+        sim._ready.append((eid, None, self._proceed, None, True))
+
+    @property
+    def name(self) -> str:
+        """Diagnostic label (lazy: most processes are never named)."""
+        return (self._name or getattr(self._generator, "__name__", "process"))
 
     @property
     def is_alive(self) -> bool:
@@ -171,11 +232,6 @@ class Process(Event):
         """Throw :class:`Interrupt` into the process at the current time."""
         if self._triggered:
             raise SimulationError("cannot interrupt a finished process")
-        wake = Event(self.sim)
-        wake._ok = False
-        wake._value = Interrupt(cause)
-        wake._triggered = True
-        wake.callbacks.append(self._resume)
         # Detach from whatever we were waiting on; that event may still
         # fire later but must no longer resume us.
         target = self._waiting_on
@@ -185,25 +241,31 @@ class Process(Event):
             except ValueError:
                 pass
         self._waiting_on = None
-        self.sim._schedule(wake, 0)
+        sim = self.sim
+        eid = sim._eid
+        sim._eid = eid + 1
+        sim._ready.append((eid, None, self._proceed, Interrupt(cause), False))
 
     def _resume(self, event: Event) -> None:
+        """Callback form of :meth:`_proceed`, attached to real events."""
+        self._proceed(event._value, event._ok)
+
+    def _proceed(self, value: Any, ok: bool) -> None:
         self._waiting_on = None
         sim = self.sim
-        sim._active_process = self
         try:
-            if event._ok:
-                result = self._generator.send(event._value)
+            if ok:
+                result = self._send(value)
             else:
-                result = self._generator.throw(event._value)
+                result = self._generator.throw(value)
         except StopIteration as stop:
-            sim._active_process = None
             self._triggered = True
             self._value = stop.value
-            sim._schedule(self, 0)
+            eid = sim._eid
+            sim._eid = eid + 1
+            sim._ready.append((eid, self))
             return
         except BaseException as exc:
-            sim._active_process = None
             self._triggered = True
             self._ok = False
             self._value = exc
@@ -213,22 +275,25 @@ class Process(Event):
                 raise
             sim._schedule(self, 0)
             return
-        sim._active_process = None
-        if not isinstance(result, Event):
+        try:
+            callbacks = result.callbacks
+        except AttributeError:
+            raise SimulationError(
+                f"process {self.name!r} yielded {result!r}, expected an Event"
+            ) from None
+        if callbacks is not None:
+            self._waiting_on = result
+            callbacks.append(self._resume)
+        elif isinstance(result, Event):
+            # Already processed: resume immediately at the current time.
+            eid = sim._eid
+            sim._eid = eid + 1
+            sim._ready.append((eid, None, self._proceed,
+                               result._value, result._ok))
+        else:
             raise SimulationError(
                 f"process {self.name!r} yielded {result!r}, expected an Event"
             )
-        if result.callbacks is None:
-            # Already processed: resume immediately at the current time.
-            wake = Event(sim)
-            wake._ok = result._ok
-            wake._value = result._value
-            wake._triggered = True
-            wake.callbacks.append(self._resume)
-            sim._schedule(wake, 0)
-        else:
-            self._waiting_on = result
-            result.callbacks.append(self._resume)
 
 
 class _Condition(Event):
@@ -237,13 +302,17 @@ class _Condition(Event):
     __slots__ = ("events", "_count")
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
-        super().__init__(sim)
+        Event.__init__(self, sim)
         self.events = list(events)
         self._count = 0
         if not self.events:
             self.succeed({})
             return
         for ev in self.events:
+            if self._triggered:
+                # An earlier already-processed constituent decided the
+                # composite; don't leave dead callbacks on the rest.
+                break
             if ev.callbacks is None:
                 self._check(ev)
             else:
@@ -251,6 +320,25 @@ class _Condition(Event):
 
     def _check(self, event: Event) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
+
+    def _detach(self) -> None:
+        """Drop ``_check`` from every still-pending constituent.
+
+        Once the composite has fired, the losing siblings must not keep
+        a reference to it: a long-lived pending event re-used across
+        many ``any_of`` waits (the async submission pump's completion
+        events, open-loop in-flight tails) would otherwise accumulate
+        one dead callback per wait — unbounded memory growth and a
+        linear callback scan when it finally fires.
+        """
+        check = self._check
+        for ev in self.events:
+            callbacks = ev.callbacks
+            if callbacks is not None:
+                try:
+                    callbacks.remove(check)
+                except ValueError:
+                    pass
 
     def _results(self) -> dict:
         return {
@@ -270,6 +358,7 @@ class AllOf(_Condition):
             return
         if not event._ok:
             self.fail(event._value)
+            self._detach()
             return
         self._count += 1
         if self._count == len(self.events):
@@ -286,32 +375,40 @@ class AnyOf(_Condition):
             return
         if not event._ok:
             self.fail(event._value)
-            return
-        self.succeed(self._results())
+        else:
+            self.succeed(self._results())
+        self._detach()
 
 
 class Simulator:
-    """The event loop: a priority queue of (time, tiebreak, event).
+    """The event loop: a time-ordered heap plus an immediate ready lane.
 
     All model components share one :class:`Simulator`; its :attr:`now` is
     the global clock in nanoseconds.
+
+    Scheduling draws a ticket from one monotonic counter regardless of
+    which structure the event lands in, and the loop merges the two
+    sources by ``(time, ticket)``, so firing order is identical to a
+    single global priority queue — deterministic FIFO within a
+    timestamp.
+
+    ``now`` is a plain attribute (read ~once per model statement, so a
+    property would be measurable overhead); treat it as read-only.
     """
 
     def __init__(self):
+        #: (time, ticket, event) min-heap for delayed events.
         self._queue: list = []
-        self._eid = itertools.count()
-        self._now = 0
-        self._active_process: Optional[Process] = None
-
-    @property
-    def now(self) -> int:
-        """Current simulated time in nanoseconds."""
-        return self._now
-
-    @property
-    def active_process(self) -> Optional[Process]:
-        """The process currently executing, if any."""
-        return self._active_process
+        #: FIFO of immediate work at the current time.  Entries are
+        #: ``(ticket, event)`` for zero-delay events and
+        #: ``(ticket, None, resume, value, ok)`` for direct process
+        #: wakes that need no Event object.
+        self._ready: deque = deque()
+        #: Next scheduling ticket (a plain int beats itertools.count at
+        #: this call volume).
+        self._eid = 0
+        #: Current simulated time in nanoseconds (read-only).
+        self.now = 0
 
     # -- event construction helpers ------------------------------------
     def event(self) -> Event:
@@ -336,18 +433,54 @@ class Simulator:
 
     # -- scheduling / main loop ----------------------------------------
     def _schedule(self, event: Event, delay: int) -> None:
-        heapq.heappush(self._queue, (self._now + delay, next(self._eid), event))
+        """Enqueue ``event`` to fire ``delay`` ns from now.
+
+        ``delay == 0`` rides the ready lane (O(1), no heap traffic);
+        negative delays are a model bug and fail here, at the call
+        site, instead of surfacing later as "time went backwards"
+        deep inside :meth:`step`.
+        """
+        eid = self._eid
+        self._eid = eid + 1
+        if delay == 0:
+            self._ready.append((eid, event))
+        elif delay > 0:
+            heapq.heappush(self._queue, (self.now + delay, eid, event))
+        else:
+            raise SimulationError(
+                f"cannot schedule {event!r} at negative delay {delay} "
+                f"(now={self.now})")
 
     def peek(self) -> Optional[int]:
         """Time of the next scheduled event, or None if the queue is empty."""
+        if self._ready:
+            return self.now
         return self._queue[0][0] if self._queue else None
 
     def step(self) -> None:
-        """Process exactly one event."""
-        when, _, event = heapq.heappop(self._queue)
-        if when < self._now:
-            raise SimulationError("time went backwards")
-        self._now = when
+        """Process exactly one event (merged by time, then ticket)."""
+        queue, ready = self._queue, self._ready
+        event = None
+        if ready:
+            # Ready entries are always at the current time; the heap
+            # only wins when its top shares that time with an earlier
+            # ticket.
+            if queue:
+                head = queue[0]
+                if head[0] == self.now and head[1] < ready[0][0]:
+                    event = heapq.heappop(queue)[2]
+            if event is None:
+                entry = ready.popleft()
+                event = entry[1]
+                if event is None:
+                    # Direct process wake — no Event, no callbacks.
+                    entry[2](entry[3], entry[4])
+                    return
+        else:
+            when, _, event = heapq.heappop(queue)
+            if when < self.now:
+                raise SimulationError("time went backwards")
+            self.now = when
         callbacks = event.callbacks
         event.callbacks = None
         event._processed = True
@@ -356,16 +489,45 @@ class Simulator:
 
     def run(self, until: Optional[int] = None) -> None:
         """Run until the queue drains or the clock reaches ``until`` ns."""
-        if until is not None and until < self._now:
+        if until is not None and until < self.now:
             raise SimulationError(
-                f"run(until={until}) is in the past (now={self._now})")
-        while self._queue:
-            if until is not None and self._queue[0][0] > until:
-                self._now = until
-                return
-            self.step()
+                f"run(until={until}) is in the past (now={self.now})")
+        queue, ready = self._queue, self._ready
+        heappop = heapq.heappop
+        popleft = ready.popleft
+        while True:
+            # Inlined _next(): this loop runs once per event and the
+            # call/branch overhead is measurable at millions of events.
+            if ready:
+                event = None
+                if queue:
+                    head = queue[0]
+                    if head[0] == self.now and head[1] < ready[0][0]:
+                        event = heappop(queue)[2]
+                if event is None:
+                    entry = popleft()
+                    event = entry[1]
+                    if event is None:
+                        # Direct process wake — no Event, no callbacks.
+                        entry[2](entry[3], entry[4])
+                        continue
+            elif queue:
+                head = queue[0]
+                when = head[0]
+                if until is not None and when > until:
+                    self.now = until
+                    return
+                event = heappop(queue)[2]
+                self.now = when
+            else:
+                break
+            callbacks = event.callbacks
+            event.callbacks = None
+            event._processed = True
+            for callback in callbacks:
+                callback(event)
         if until is not None:
-            self._now = until
+            self.now = until
 
     def run_process(self, generator: Generator, name: str = "") -> Any:
         """Convenience: run ``generator`` to completion and return its value.

@@ -23,6 +23,28 @@ from .core import Event, Simulator, SimulationError
 __all__ = ["Store", "Resource", "CreditPool", "Gate"]
 
 
+def _resolved(event: Event, value: Any = None) -> Event:
+    """Pre-resolve ``event``: triggered, processed, no callback list.
+
+    The uncontended fast path of every primitive below.  A process
+    yielding an already-processed event is resumed through the
+    kernel's ready lane with a ticket drawn at the ``yield`` — and
+    since every call site yields the returned event immediately (no
+    scheduling happens between the call and the yield), that ticket
+    occupies exactly the queue position the ``succeed()`` ticket would
+    have: firing order is unchanged, but the grant skips the
+    ready-queue round trip (succeed + callback registration + one
+    whole kernel step).  Only taken when no other process is waiting
+    on the primitive, so no third party's wakeup can reorder around
+    it.
+    """
+    event._triggered = True
+    event._processed = True
+    event._value = value
+    event.callbacks = None
+    return event
+
+
 class StorePut(Event):
     """Pending put; fires when the item has been accepted."""
 
@@ -67,6 +89,9 @@ class Store:
 
     def put(self, item: Any) -> StorePut:
         """Enqueue ``item``; the returned event fires once space existed."""
+        if not self._putters and not self._getters and not self.is_full:
+            self.items.append(item)
+            return _resolved(StorePut(self.sim, item))
         event = StorePut(self.sim, item)
         self._putters.append(event)
         self._dispatch()
@@ -74,6 +99,8 @@ class Store:
 
     def get(self) -> StoreGet:
         """Dequeue; the returned event fires with the front item."""
+        if self.items and not self._getters and not self._putters:
+            return _resolved(StoreGet(self.sim), self.items.popleft())
         event = StoreGet(self.sim)
         self._getters.append(event)
         self._dispatch()
@@ -141,12 +168,11 @@ class Resource:
         return self.capacity - self.in_use
 
     def request(self) -> Event:
-        event = Event(self.sim)
         if self.in_use < self.capacity and not self._waiters:
             self.in_use += 1
-            event.succeed()
-        else:
-            self._waiters.append(event)
+            return _resolved(Event(self.sim))
+        event = Event(self.sim)
+        self._waiters.append(event)
         return event
 
     def release(self) -> None:
@@ -190,6 +216,9 @@ class CreditPool:
         """Event firing once ``amount`` credits have been claimed."""
         if amount < 1:
             raise SimulationError(f"credit take amount must be >=1, got {amount}")
+        if not self._waiters and amount <= self.credits:
+            self.credits -= amount
+            return _resolved(Event(self.sim))
         event = Event(self.sim)
         self._waiters.append((event, amount))
         self._dispatch()

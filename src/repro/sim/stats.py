@@ -122,13 +122,20 @@ class LatencyHistogram:
         self.min_ns: Optional[int] = None
         self.max_ns: Optional[int] = None
 
-    def record(self, latency_ns: int) -> None:
+    def record(self, latency_ns: int, weight: int = 1) -> None:
+        """Record one sample, optionally counted ``weight`` times.
+
+        ``weight > 1`` is how 1-in-N trace sampling keeps aggregate
+        counts unbiased: each kept sample stands for ``N`` requests.
+        """
         if latency_ns < 0:
             raise ValueError(f"negative latency {latency_ns}")
-        index = min(int(latency_ns).bit_length(), self.MAX_BUCKET)
-        self.buckets[index] += 1
-        self.count += 1
-        self.total_ns += latency_ns
+        index = int(latency_ns).bit_length()
+        if index > self.MAX_BUCKET:
+            index = self.MAX_BUCKET
+        self.buckets[index] += weight
+        self.count += weight
+        self.total_ns += latency_ns * weight
         if self.min_ns is None or latency_ns < self.min_ns:
             self.min_ns = latency_ns
         if self.max_ns is None or latency_ns > self.max_ns:

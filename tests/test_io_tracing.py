@@ -6,10 +6,18 @@ on the ISP-F and H-F paths (within 1%).
 """
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.core import BlueDBMCluster
 from repro.flash import FlashCard, FlashGeometry, FlashSplitter, PhysAddr
-from repro.io import IOKind, IORequest, Pipeline, RequestTracer, StageSpan
+from repro.io import (
+    UNSAMPLED,
+    IOKind,
+    IORequest,
+    Pipeline,
+    RequestTracer,
+    StageSpan,
+)
 from repro.sim import LatencyHistogram, Simulator, Store
 
 GEO = FlashGeometry(buses_per_card=2, chips_per_bus=2, blocks_per_chip=4,
@@ -177,6 +185,73 @@ class TestRequestTracer:
         assert len(tracer.requests) == 1
         assert tracer.dropped == 1
         assert tracer.completed_count == 2
+
+
+class TestTraceSampling:
+    """Deterministic 1-in-N sampling with unbiased count re-scaling."""
+
+    def test_sample_one_traces_everything(self, sim):
+        tracer = RequestTracer(sim, sample=1)
+        assert all(tracer.start("read", None, 64) is not None
+                   for _ in range(10))
+
+    def test_sample_below_one_rejected(self, sim):
+        with pytest.raises(ValueError):
+            RequestTracer(sim, sample=0)
+
+    def test_sampling_is_deterministic_per_tracer(self, sim):
+        # Two tracers over the same arrival stream make identical
+        # keep/skip decisions — the property that lets sampled reruns
+        # replay byte-identically.  Skipped arrivals come back as the
+        # falsy UNSAMPLED marker, never None (None would let a lower
+        # layer open a replacement request for the same arrival).
+        a = RequestTracer(sim, sample=3)
+        b = RequestTracer(sim, sample=3)
+        starts_a = [a.start("read", None, 64) for _ in range(20)]
+        pattern_a = [bool(r) for r in starts_a]
+        pattern_b = [bool(b.start("read", None, 64)) for _ in range(20)]
+        assert pattern_a == pattern_b
+        assert all(r is UNSAMPLED for r in starts_a if not r)
+        # Exactly every 3rd arrival (starting with the first) is kept.
+        assert [i for i, kept in enumerate(pattern_a) if kept] \
+            == [0, 3, 6, 9, 12, 15, 18]
+
+    @given(sample=st.integers(min_value=1, max_value=50),
+           n=st.integers(min_value=0, max_value=400),
+           size=st.integers(min_value=1, max_value=8192))
+    @settings(max_examples=60, deadline=None)
+    def test_scaled_counts_are_unbiased(self, sample, n, size):
+        # Complete every sampled request: the weight-scaled aggregates
+        # must land within one sampling stride of the true totals, and
+        # histogram mass must equal the scaled completion count.
+        sim = Simulator()
+        tracer = RequestTracer(sim, sample=sample)
+        for _ in range(n):
+            tracer.complete(tracer.start("read", None, size))
+        estimate = tracer.tenant_completed.get("default", 0)
+        assert estimate % sample == 0
+        assert abs(estimate - n) < sample
+        assert abs(tracer.tenant_bytes.get("default", 0) - n * size) \
+            < sample * size
+        if estimate:
+            assert tracer.tenant_latency["default"].count == estimate
+
+    def test_unsampled_request_is_span_free(self, sim):
+        # An UNSAMPLED request turns every downstream span into a no-op
+        # and complete() into a no-op: nothing is recorded anywhere.
+        tracer = RequestTracer(sim, sample=2)
+        first = tracer.start("read", None, 64)
+        second = tracer.start("read", None, 64)
+        assert first and second is UNSAMPLED
+
+        def proc(sim):
+            with StageSpan(sim, second, "storage"):
+                yield sim.timeout(10)
+            tracer.complete(second)
+
+        sim.run_process(proc(sim))
+        assert tracer.completed_count == 0
+        assert tracer.stage_histograms == {}
 
 
 class TestSplitterTracing:

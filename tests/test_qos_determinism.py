@@ -142,6 +142,38 @@ def test_read_paths_idle_volume_machinery(maker):
     assert before == after
 
 
+def test_trace_sample_default_is_off_and_byte_identical():
+    # trace_sample=1 is the default and must be a literal no-op: the
+    # explicit spec produces byte-identical JSON to the implicit one,
+    # so every pre-sampling golden still holds.
+    spec = _shorten(qd_sweep_spec(16), 1_000_000)
+    assert spec.trace_sample == 1
+    explicit = dataclasses.replace(spec, trace_sample=1)
+    assert Session(spec).run().to_json() == \
+        Session(explicit).run().to_json()
+
+
+@pytest.mark.parametrize("maker", [
+    lambda: qd_sweep_spec(16),
+    lambda: gc_steady_spec("wfq", 0.9),
+], ids=["host-qd", "volume-gc"])
+def test_trace_sampling_changes_no_scheduling(maker):
+    # Sampling thins the *accounting*, never the schedule: issue and
+    # completion streams are identical at any sample rate, and the
+    # weight-scaled completion counts stay exact (every completion
+    # lands in some sampled stride's weight).
+    spec = _shorten(maker(), 2_000_000)
+    full = Session(spec).run()
+    sampled = Session(dataclasses.replace(spec, trace_sample=7)).run()
+    assert sampled.elapsed_ns == full.elapsed_ns
+    assert sampled.metrics["completions"] == full.metrics["completions"]
+    # The weight-scaled traced counts stay within one sampling stride
+    # of the true per-tenant totals.
+    for tenant, stats in full.tenant_stats.items():
+        estimate = sampled.tenant_stats[tenant]["completed"]
+        assert abs(estimate - stats["completed"]) < 7
+
+
 def test_random_traffic_is_untouched_by_coalescing():
     # Coalescing that cannot merge must not change *any* measured
     # value: the random scenario's tenant stats are identical on/off
