@@ -1,0 +1,33 @@
+"""Distributed volume QD sweep: aggregate bandwidth scales with nodes.
+
+Spec + assertions only (measurement: ``repro run dvol_qd_sweep``).
+One scan tenant per node over an n-shard striped volume, submission
+window swept; per-node p99 is reported at every point.  At saturating
+depth the cluster aggregate must scale >= 1.6x going from one node to
+two — the remote hops cost latency (visible in p99), not bandwidth.
+"""
+
+from conftest import run_registered
+
+
+def test_dvol_qd_sweep_scales_with_nodes(benchmark, report_tables):
+    result = run_registered(benchmark, "dvol_qd_sweep")
+    report_tables(result)
+    sweep = result.metrics["sweep"]
+    top = str(max(result.metrics["queue_depths"]))
+
+    # Deeper windows help every cluster size (monotone saturation).
+    for n in result.metrics["nodes"]:
+        by_qd = sweep[str(n)]
+        totals = [by_qd[str(qd)]["total_bandwidth_gbs"]
+                  for qd in result.metrics["queue_depths"]]
+        assert totals == sorted(totals)
+        # Per-node p99 is reported for every tenant at every point.
+        for qd in result.metrics["queue_depths"]:
+            p99 = by_qd[str(qd)]["p99_ns"]
+            assert len(p99) == n
+            assert all(v > 0 for v in p99.values())
+
+    # At saturating depth the aggregate scales with node count.
+    assert result.metrics["scaling_1_to_2"] >= 1.6
+    assert result.metrics["scaling_1_to_4"] >= 2.5

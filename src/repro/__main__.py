@@ -136,12 +136,13 @@ def cmd_run(args) -> int:
 
 
 #: The fixed experiment set every ``repro bench`` snapshot covers:
-#: the latency and bandwidth figures, the async-path extensions, and
-#: the logical-volume write path — small enough to run on every
-#: commit, broad enough that a hot-path regression in any layer moves
-#: at least one number.
+#: the latency and bandwidth figures, the async-path extensions, the
+#: logical-volume write path, and the distributed-volume cluster path —
+#: small enough to run on every commit, broad enough that a hot-path
+#: regression in any layer moves at least one number.
 BENCH_SET = ("fig12", "fig13", "qd_sweep", "batching",
-             "volume_scan", "write_burst", "gc_steady")
+             "volume_scan", "write_burst", "gc_steady",
+             "dvol_scan", "dvol_qd_sweep")
 
 
 def _write_section(results: dict) -> dict:
@@ -227,7 +228,7 @@ def cmd_bench(args) -> int:
 
     experiments = list(args.experiments) or list(BENCH_SET)
     snapshot = {
-        "schema": 3,
+        "schema": 4,
         "version": version,
         "python": platform.python_version(),
         "experiments": {},

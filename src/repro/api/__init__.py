@@ -42,6 +42,7 @@ from .spec import (
     BENCH_GEOMETRY,
     ONE_CARD_GEOMETRY,
     THROTTLED_TIMING,
+    DistributedVolumeSpec,
     ScenarioSpec,
     SpecError,
     TenantSpec,
@@ -59,6 +60,7 @@ __all__ = [
     "TenantSpec",
     "TopologySpec",
     "VolumeSpec",
+    "DistributedVolumeSpec",
     "SpecError",
     "Session",
     "drive_pipelined",

@@ -21,6 +21,13 @@ import random
 from typing import Callable, Dict, List, Optional
 
 from ..core import BlueDBMCluster, BlueDBMNode
+from ..dvol import (
+    DvolRouter,
+    PlacementPlanner,
+    RemoteCoalescer,
+    ShardServiceIface,
+    ShardedVolume,
+)
 from ..flash import PhysAddr
 from ..host import HostInterface
 from ..io import RequestTracer
@@ -65,6 +72,11 @@ class Session:
             coalesce_max_pages=spec.coalesce_max_pages,
             host_queue_depth=spec.host_queue_depth,
         )
+        # An active distributed volume claims three endpoints of its
+        # own right after the application block (requests + two response
+        # lanes), leaving the cluster's request/response protocol — and
+        # any app endpoints the spec reserved — untouched.
+        dvol_eps = 3 if (spec.dvol is not None and spec.n_nodes > 1) else 0
         if spec.n_nodes == 1:
             self.cluster: Optional[BlueDBMCluster] = None
             self.nodes: List[BlueDBMNode] = [
@@ -74,8 +86,8 @@ class Session:
                 self.sim, spec.n_nodes,
                 topology=spec.topology.build(spec.n_nodes),
                 network_config=spec.network,
-                n_endpoints=spec.n_endpoints,
-                app_endpoints=spec.app_endpoints,
+                n_endpoints=spec.n_endpoints + dvol_eps,
+                app_endpoints=spec.app_endpoints + dvol_eps,
                 node_kwargs=node_kwargs,
                 tracer=self.tracer)
             self.nodes = self.cluster.nodes
@@ -87,6 +99,12 @@ class Session:
         self._volume_ifaces: Dict[str, HostInterface] = {}
         #: volume tenant name -> (LBA window start, size).
         self._volume_windows: Dict[str, tuple] = {}
+        #: the cluster-wide sharded volume (built when dvol tenants run).
+        self.dvol: Optional[ShardedVolume] = None
+        #: dvol tenant name -> its dedicated HostInterface.
+        self._dvol_ifaces: Dict[str, HostInterface] = {}
+        #: dvol tenant name -> (LBA window start, size).
+        self._dvol_windows: Dict[str, tuple] = {}
         self._page_fill = bytes(spec.geometry.page_size)
         #: tenant name -> physical indices its raw writers have
         #: programmed (NAND no-reprogram bookkeeping for write mixes).
@@ -94,6 +112,7 @@ class Session:
         if spec.workload is not None:
             self._configure_qos()
             self._build_volumes()
+            self._build_dvol()
 
     def _build_volumes(self) -> None:
         """Attach logical volumes and per-tenant host interfaces.
@@ -145,6 +164,86 @@ class Session:
             if prefill:
                 volume.prefill(start, prefill)
 
+    def _build_dvol(self) -> None:
+        """Build the cluster-wide sharded volume and its routing tier.
+
+        Nodes ``0 .. shards-1`` each get a shard
+        :class:`~repro.volume.LogicalVolume` (GC on a dedicated
+        low-priority port labeled ``dvol-gc``) plus a network *service
+        port* — deliberately slot-capped at ``remote_in_flight`` — that
+        remote operations are admitted through, optionally behind a
+        :class:`~repro.dvol.RemoteCoalescer`.  Every node gets a
+        :class:`~repro.dvol.DvolRouter` on the volume's private
+        endpoint block, so any node can source remote operations.  Each
+        dvol *tenant* gets its own splitter port and
+        :class:`~repro.host.HostInterface` on its home node (the full
+        host software/PCIe path), and its LBA window is ownership-
+        registered and functionally prefilled through the placement
+        planner's run splitting.
+        """
+        spec = self.spec
+        if spec.dvol is None:
+            return
+        dvol_tenants = [t for t in spec.workload.tenants
+                        if t.access == "dvol"]
+        if not dvol_tenants:
+            return
+        d = spec.dvol
+        geometry = spec.geometry
+        per_shard = int(geometry.pages_per_node
+                        * (1.0 - d.volume.overprovision))
+        planner = PlacementPlanner(
+            d.shards, per_shard, placement=d.placement,
+            stripe_chunk_pages=d.stripe_chunk_pages,
+            hash_seed=d.hash_seed)
+        self.dvol = ShardedVolume(self.sim, planner, geometry.page_size)
+        for shard in range(d.shards):
+            node = self.nodes[shard]
+            gc_port = node.splitter.add_port(
+                tenant="dvol-gc", priority=d.volume.gc_priority)
+            node.splitter.configure_tenant(
+                "dvol-gc", weight=d.volume.gc_weight,
+                rate_mbps=d.volume.gc_rate_mbps,
+                burst_kb=d.volume.gc_burst_kb)
+            volume = LogicalVolume(
+                self.sim, node.device, gc_port,
+                overprovision=d.volume.overprovision,
+                allocation=d.volume.allocation,
+                gc_low_watermark=d.volume.gc_low_watermark,
+                name=f"dvol-n{shard}")
+            service_port = node.splitter.add_port(
+                max_in_flight=d.remote_in_flight, tenant="dvol")
+            coalescer = (
+                RemoteCoalescer(service_port, d.remote_coalesce_max_pages)
+                if d.remote_coalesce else None)
+            service = ShardServiceIface(
+                self.sim, service_port, geometry.page_size,
+                coalescer=coalescer)
+            self.dvol.add_shard(shard, volume, service)
+        if self.cluster is not None:
+            request_ep = 1 + spec.app_endpoints
+            response_eps = (request_ep + 1, request_ep + 2)
+            for node_id in range(spec.n_nodes):
+                router = DvolRouter(
+                    self.sim, self.cluster.network, node_id, request_ep,
+                    response_eps, geometry.page_size)
+                self.dvol.add_router(node_id, router)
+        windows = spec.dvol_windows()
+        self._dvol_windows = windows
+        for tenant in dvol_tenants:
+            node = self.nodes[tenant.node]
+            port = node.splitter.add_port(tenant=tenant.name,
+                                          **tenant.qos_kwargs())
+            self._dvol_ifaces[tenant.name] = HostInterface(
+                self.sim, node.host_config, node.cpu, node.pcie, port,
+                geometry.page_size, tracer=self.tracer,
+                tenant=tenant.name, queue_depth=spec.host_queue_depth)
+            start, size = windows[tenant.name]
+            self.dvol.register_owner(start, size, tenant.name)
+            prefill = int(d.volume.fill * size)
+            if prefill:
+                self.dvol.prefill(start, prefill)
+
     def _configure_qos(self) -> None:
         """Program per-tenant admission QoS; attach background ports.
 
@@ -156,6 +255,20 @@ class Session:
         their port-level QoS (priority / deadline / in-flight cap).
         """
         for tenant in self.spec.workload.tenants:
+            if tenant.access == "dvol":
+                # A dvol tenant's traffic is admitted wherever its
+                # pages land — its home node locally, every shard node
+                # remotely (the label rides the request) — so its
+                # weight/rate must be programmed on all of them.
+                if tenant.has_policy_qos:
+                    nodes = sorted(
+                        set(range(self.spec.dvol.shards)) | {tenant.node})
+                    for node_id in nodes:
+                        self.nodes[node_id].splitter.configure_tenant(
+                            tenant.sched_label(), weight=tenant.weight,
+                            rate_mbps=tenant.rate_mbps,
+                            burst_kb=tenant.burst_kb)
+                continue
             contended = (tenant.target if tenant.access == "remote_isp"
                          else tenant.node)
             splitter = self.nodes[contended].splitter
@@ -227,11 +340,14 @@ class Session:
         """The tenant's (start, size) address window.
 
         Volume tenants own a slice of their node volume's logical
-        address space; everything else addresses the physical striped
-        space from zero.
+        address space, dvol tenants a slice of the cluster-wide sharded
+        space; everything else addresses the physical striped space
+        from zero.
         """
         if tenant.access == "volume":
             return self._volume_windows[tenant.name]
+        if tenant.access == "dvol":
+            return self._dvol_windows[tenant.name]
         return (0, self._addr_space(tenant))
 
     @staticmethod
@@ -393,8 +509,15 @@ class Session:
                 proc = sim.process(issue(kind, index))
                 proc.callbacks.append(counted)
                 pending.append(proc)
+            round_start = sim.now
             yield sim.any_of(pending)
             pending = [p for p in pending if not p.triggered]
+            if sim.now == round_start and not pending:
+                # Every op in the wave completed in zero simulated
+                # time (e.g. map-answered volume reads of an unfilled
+                # window): force minimal progress so the measurement
+                # window cannot livelock at one timestep.
+                yield sim.timeout(1)
 
     def _arrival_gaps(self, rng: random.Random, rate_rps: float):
         """Endless inter-arrival gaps (ns) for the workload's process.
@@ -596,6 +719,21 @@ class Session:
                 else:
                     yield sim.process(iface.read_lpn(
                         volume, index, software_path=software_path))
+        elif tenant.access == "dvol":
+            iface = self._dvol_ifaces[tenant.name]
+            dvol = self.dvol
+            src = tenant.node
+            page_fill = self._page_fill
+
+            def issue(kind, index):
+                if kind == "write":
+                    yield sim.process(dvol.write_lpn(
+                        src, iface, index, page_fill,
+                        software_path=software_path))
+                else:
+                    yield sim.process(dvol.read_lpn(
+                        src, iface, index,
+                        software_path=software_path))
         else:
             read = node.isp_read if tenant.access == "isp" \
                 else node.net_read
@@ -643,6 +781,8 @@ class Session:
                 .write_amplification(tenant.name)
                 for tenant in self.spec.workload.tenants
                 if tenant.access == "volume"}
+        if self.dvol is not None:
+            result.metrics["dvol"] = self.dvol.stats()
         return result
 
     def _splitter_bandwidth(self, window: int) -> dict:

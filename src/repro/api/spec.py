@@ -22,6 +22,7 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
+from ..dvol.placement import PLACEMENT_MODES
 from ..flash import FlashGeometry, FlashTiming
 from ..ftl import ALLOCATION_MODES
 from ..host import HostConfig
@@ -44,6 +45,7 @@ __all__ = [
     "TopologySpec",
     "TenantSpec",
     "VolumeSpec",
+    "DistributedVolumeSpec",
     "WorkloadSpec",
     "ScenarioSpec",
     "SpecError",
@@ -262,18 +264,101 @@ class VolumeSpec:
 
 
 # ----------------------------------------------------------------------
+# distributed volume
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DistributedVolumeSpec:
+    """One cluster-wide :class:`~repro.dvol.ShardedVolume`.
+
+    Tenants with ``access="dvol"`` address one logical LPN space that
+    the placement planner stripes (or hashes) across ``shards``
+    per-node :class:`~repro.volume.LogicalVolume` shards; pages on
+    other nodes are reached through the per-node routing tier over the
+    storage network.
+
+    * ``shards`` — how many nodes hold a shard (nodes ``0 ..
+      shards-1``; must not exceed the scenario's node count);
+    * ``placement`` — ``striped`` (round-robin chunk dealing) or
+      ``hashed`` (keyed per-round permutation; decorrelates shard load
+      for strided access while covering every shard each round);
+    * ``stripe_chunk_pages`` — consecutive LPNs kept on one shard; the
+      run length both coalescers can merge;
+    * ``remote_coalesce`` — stage remote reads in a
+      :class:`~repro.dvol.RemoteCoalescer` at the destination's
+      network service port, merging same-source stripe-adjacent runs
+      into multi-page commands (up to ``remote_coalesce_max_pages``);
+    * ``remote_in_flight`` — the service port's slot cap; small values
+      make the coalescer's slot pacing bind (arrivals accumulate and
+      merge while slots are busy);
+    * ``volume`` — the per-shard :class:`VolumeSpec` knobs
+      (overprovision, allocation, fill, GC QoS), applied identically
+      to every shard.
+    """
+
+    shards: int = 2
+    placement: str = "striped"
+    stripe_chunk_pages: int = 8
+    hash_seed: int = 0
+    remote_coalesce: bool = False
+    remote_coalesce_max_pages: int = 8
+    remote_in_flight: int = 8
+    volume: VolumeSpec = field(default_factory=VolumeSpec)
+
+    def __post_init__(self):
+        if isinstance(self.volume, dict):
+            object.__setattr__(self, "volume",
+                               VolumeSpec.from_dict(self.volume))
+        if self.shards < 1:
+            raise SpecError(f"dvol shards must be >= 1, "
+                            f"got {self.shards}")
+        if self.placement not in PLACEMENT_MODES:
+            raise SpecError(
+                f"unknown dvol placement {self.placement!r}; expected "
+                f"one of {PLACEMENT_MODES}")
+        if self.stripe_chunk_pages < 1:
+            raise SpecError(f"dvol stripe_chunk_pages must be >= 1, "
+                            f"got {self.stripe_chunk_pages}")
+        if self.remote_in_flight < 1:
+            raise SpecError(f"dvol remote_in_flight must be >= 1, "
+                            f"got {self.remote_in_flight}")
+        if self.remote_coalesce_max_pages < 1:
+            raise SpecError(f"dvol remote_coalesce_max_pages must be "
+                            f">= 1, got {self.remote_coalesce_max_pages}")
+        if self.remote_coalesce and self.remote_coalesce_max_pages < 2:
+            raise SpecError(
+                "remote coalescing merges at least two pages per "
+                "command; remote_coalesce=True needs "
+                "remote_coalesce_max_pages >= 2")
+
+    def to_dict(self) -> dict:
+        data = dataclasses.asdict(self)
+        data["volume"] = self.volume.to_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DistributedVolumeSpec":
+        data = dict(data)
+        if isinstance(data.get("volume"), dict):
+            data["volume"] = VolumeSpec.from_dict(data["volume"])
+        return cls(**data)
+
+
+# ----------------------------------------------------------------------
 # workload
 # ----------------------------------------------------------------------
 #: The splitter's fixed ports a tenant can drive locally, the
 #: cluster-level remote path (ISP-F over the integrated network),
 #: ``volume`` — logical-block I/O through the node's FTL-backed
-#: :class:`~repro.volume.LogicalVolume` on a dedicated port — and
-#: ``gc`` — background GC/wear-leveling traffic injected at the
-#: splitter through a dedicated low-priority port.
-_ACCESS_KINDS = ("isp", "host", "net", "remote_isp", "volume", "gc")
+#: :class:`~repro.volume.LogicalVolume` on a dedicated port —
+#: ``dvol`` — logical-block I/O against the cluster-wide
+#: :class:`~repro.dvol.ShardedVolume`, remote pages routed over the
+#: storage network — and ``gc`` — background GC/wear-leveling traffic
+#: injected at the splitter through a dedicated low-priority port.
+_ACCESS_KINDS = ("isp", "host", "net", "remote_isp", "volume", "dvol",
+                 "gc")
 #: Access kinds whose traffic rides the host write path and may
 #: therefore carry a write mix (``write_fraction`` > 0).
-_WRITE_CAPABLE = ("host", "volume")
+_WRITE_CAPABLE = ("host", "volume", "dvol")
 #: Splitter port names that accept per-tenant QoS parameters.
 _QOS_PORTS = ("isp", "host", "net")
 _RNG_MODES = ("per_worker", "shared")
@@ -387,13 +472,13 @@ class TenantSpec:
                 f"tenant {self.name!r}: write mixes ride the host write "
                 f"path; access must be one of {_WRITE_CAPABLE} "
                 f"(got {self.access!r})")
-        if self.access == "volume" and self.name in _QOS_PORTS:
+        if self.access in ("volume", "dvol") and self.name in _QOS_PORTS:
             # A volume tenant owns a dedicated splitter port labeled by
             # its name; a fixed-port name would merge its scheduling
             # and accounting with unrelated traffic on that port.
             raise SpecError(
-                f"volume tenant cannot take a fixed splitter port name "
-                f"{_QOS_PORTS}; got {self.name!r}")
+                f"{self.access} tenant cannot take a fixed splitter "
+                f"port name {_QOS_PORTS}; got {self.name!r}")
         if self.addr_space is not None and self.addr_space < 1:
             raise SpecError(f"tenant {self.name!r}: addr_space must be "
                             f">= 1")
@@ -423,7 +508,7 @@ class TenantSpec:
             raise SpecError(f"tenant {self.name!r}: remote_isp access "
                             f"needs a target node")
         if self.has_qos and not self.background \
-                and self.access != "volume" and (
+                and self.access not in ("volume", "dvol") and (
                 self.name not in _QOS_PORTS or self.access != self.name):
             # QoS parameters program the splitter port the tenant's own
             # traffic uses; a name/access mismatch would silently boost
@@ -459,11 +544,13 @@ class TenantSpec:
 
         Local port traffic is labeled by the port (``isp``/``host``/
         ``net``); remote ISP-F reads carry ``isp-n<source>`` end to end;
-        background tenants own a port named after themselves.
+        background, volume and dvol tenants own a port named after
+        themselves (a dvol tenant's label also rides its remote
+        requests, so destination splitters schedule them under it).
         """
         if self.access == "remote_isp":
             return f"isp-n{self.node}"
-        if self.background or self.access == "volume":
+        if self.background or self.access in ("volume", "dvol"):
             return self.name
         return self.access
 
@@ -653,6 +740,7 @@ class ScenarioSpec:
     trace: bool = True
     trace_sample: int = 1
     volume: Optional[VolumeSpec] = None
+    dvol: Optional[DistributedVolumeSpec] = None
     workload: Optional[WorkloadSpec] = None
 
     def __post_init__(self):
@@ -671,6 +759,9 @@ class ScenarioSpec:
         if isinstance(self.volume, dict):
             object.__setattr__(self, "volume",
                                VolumeSpec.from_dict(self.volume))
+        if isinstance(self.dvol, dict):
+            object.__setattr__(
+                self, "dvol", DistributedVolumeSpec.from_dict(self.dvol))
         if isinstance(self.workload, dict):
             object.__setattr__(self, "workload",
                                WorkloadSpec.from_dict(self.workload))
@@ -715,6 +806,10 @@ class ScenarioSpec:
         if self.trace_sample < 1:
             raise SpecError(f"trace_sample must be >= 1, "
                             f"got {self.trace_sample}")
+        if self.dvol is not None and self.dvol.shards > self.n_nodes:
+            raise SpecError(
+                f"dvol spans {self.dvol.shards} shards but the cluster "
+                f"has {self.n_nodes} node(s)")
         if self.workload is not None:
             policy_labels: Dict[str, str] = {}
             for tenant in self.workload.tenants:
@@ -733,7 +828,9 @@ class ScenarioSpec:
                         f"tenant {tenant.name!r} needs remote nodes "
                         f"for remote_isp access")
                 if (tenant.has_policy_qos
-                        and tenant.access == "remote_isp"
+                        and (tenant.access == "remote_isp"
+                             or (tenant.access == "dvol"
+                                 and self.n_nodes > 1))
                         and (not self.trace or self.trace_sample > 1)):
                     # A remote tenant's scheduling identity rides on
                     # the traced request; without tracing (or with
@@ -767,6 +864,17 @@ class ScenarioSpec:
                 # Raises SpecError if the LBA windows overflow the
                 # volume's logical capacity on any node.
                 self.volume_windows()
+            dvol_tenants = [t for t in self.workload.tenants
+                            if t.access == "dvol"]
+            if dvol_tenants and self.dvol is None:
+                names = [t.name for t in dvol_tenants]
+                raise SpecError(
+                    f"tenants {names} use access='dvol' but the "
+                    f"scenario declares no DistributedVolumeSpec")
+            if dvol_tenants:
+                # Raises SpecError if the LBA windows overflow the
+                # distributed volume's logical capacity.
+                self.dvol_windows()
             # Each background (GC) worker claims a private scratch chip.
             gc_workers = sum(t.workers for t in self.workload.tenants
                              if t.background)
@@ -823,6 +931,50 @@ class ScenarioSpec:
                     f"{self.volume.overprovision})")
         return out
 
+    def dvol_windows(self) -> Dict[str, Tuple[int, int]]:
+        """Per-tenant ``(start, size)`` LBA windows on the dvol.
+
+        Distributed-volume tenants partition one *cluster-wide* logical
+        address space (the planner only places whole stripe chunks, so
+        capacity is chunk-truncated per shard): explicit ``addr_space``
+        values are honored, tenants without one split the remaining
+        capacity evenly.  Raises :class:`SpecError` when the windows
+        don't fit.
+        """
+        if self.workload is None or self.dvol is None:
+            return {}
+        per_shard = int(self.geometry.pages_per_node
+                        * (1.0 - self.dvol.volume.overprovision))
+        chunk = self.dvol.stripe_chunk_pages
+        logical = self.dvol.shards * ((per_shard // chunk) * chunk)
+        tenants = [t for t in self.workload.tenants
+                   if t.access == "dvol"]
+        out: Dict[str, Tuple[int, int]] = {}
+        if not tenants:
+            return out
+        explicit = sum(t.addr_space for t in tenants
+                       if t.addr_space is not None)
+        defaults = [t for t in tenants if t.addr_space is None]
+        remaining = logical - explicit
+        share = remaining // len(defaults) if defaults else 0
+        offset = 0
+        for tenant in tenants:
+            size = (tenant.addr_space if tenant.addr_space is not None
+                    else share)
+            if size < 1:
+                raise SpecError(
+                    f"dvol tenant {tenant.name!r} gets an empty LBA "
+                    f"window ({size} pages of {logical} logical)")
+            out[tenant.name] = (offset, size)
+            offset += size
+        if offset > logical:
+            raise SpecError(
+                f"dvol tenants claim {offset} logical pages but the "
+                f"distributed volume has only {logical} "
+                f"({self.dvol.shards} shards, chunk {chunk}, "
+                f"overprovision {self.dvol.volume.overprovision})")
+        return out
+
     def port_qos(self) -> Dict[str, Dict[str, Any]]:
         """Per-port splitter QoS overrides gathered from the tenants.
 
@@ -863,6 +1015,8 @@ class ScenarioSpec:
             "trace_sample": self.trace_sample,
             "volume": (None if self.volume is None
                        else self.volume.to_dict()),
+            "dvol": (None if self.dvol is None
+                     else self.dvol.to_dict()),
             "workload": (None if self.workload is None
                          else self.workload.to_dict()),
         }
@@ -887,6 +1041,8 @@ class ScenarioSpec:
             data.pop("topology", None)
         if data.get("volume") is not None:
             data["volume"] = VolumeSpec.from_dict(data["volume"])
+        if data.get("dvol") is not None:
+            data["dvol"] = DistributedVolumeSpec.from_dict(data["dvol"])
         if data.get("workload") is not None:
             data["workload"] = WorkloadSpec.from_dict(data["workload"])
         return cls(**data)

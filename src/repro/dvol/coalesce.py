@@ -1,0 +1,89 @@
+"""Remote read coalescing at the distributed volume's network port.
+
+Remote reads arrive at a shard's service port staggered by request
+serialization (one ~32-byte command every few tens of nanoseconds), so
+the greedy read :class:`~repro.flash.coalesce.Coalescer` — which carves
+a group the moment staging is non-empty — would dispatch them as
+singletons.  :class:`RemoteCoalescer` keeps the read coalescer's
+grouping rule (:func:`~repro.flash.coalesce.first_group` runs of
+same-tenant, same-card, stripe-adjacent pages) but paces dispatch the
+way the :class:`~repro.flash.coalesce.WriteCoalescer` does: a group is
+carved only while the service port has slot headroom, so reads arriving
+while every slot is busy *accumulate* in staging and merge when a slot
+frees.  Same-source stripe-adjacent remote runs — which the placement
+planner's chunking preserves — therefore admit as multi-page commands,
+and the service port's deliberately small slot cap
+(``DistributedVolumeSpec.remote_in_flight``) is what makes the pacing
+bind.
+
+Staging time is queueing and is charged to the request's ``queue``
+stage from submit to carve, exactly as the write coalescer charges it —
+so a remote op's trace decomposes into ``net`` + ``queue`` + ``device``
+like a local one plus its hops.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..flash.coalesce import Coalescer, _Pending
+from ..sim import Event
+
+__all__ = ["RemoteCoalescer"]
+
+
+class RemoteCoalescer(Coalescer):
+    """Slot-paced read coalescer for a shard's network service port."""
+
+    def __init__(self, port, max_pages: int):
+        self._slot_gate: Optional[Event] = None
+        self._inflight = 0
+        super().__init__(port, max_pages)
+
+    # -- intake ---------------------------------------------------------
+    def submit(self, addr, request) -> Event:
+        """Stage one remote page read; staging wait is ``queue`` time."""
+        if request:
+            request.enter("queue", self.sim.now)
+        return super().submit(addr, request)
+
+    # -- dispatch -------------------------------------------------------
+    def _dispatch(self):
+        """Forever: wait for staged work *and* slot headroom, then carve.
+
+        The headroom wait is the whole difference from the greedy base
+        dispatcher: while this stage's own commands hold every port
+        slot, arrivals pile up in staging and merge into wide runs.
+        """
+        sim = self.sim
+        while True:
+            if not self._staging:
+                self._gate = sim.event()
+                yield self._gate
+                self._gate = None
+            while self._inflight >= self.port.max_in_flight:
+                self._slot_gate = sim.event()
+                yield self._slot_gate
+                self._slot_gate = None
+            group = self._take_group()
+            self._inflight += 1
+            sim.process(self._execute(group))
+
+    def _take_group(self) -> List[_Pending]:
+        group = super()._take_group()
+        now = self.sim.now
+        for pending in group:
+            if pending.request:
+                pending.request.exit("queue", now)
+        return group
+
+    def _retired(self) -> None:
+        self._inflight -= 1
+        if self._slot_gate is not None and not self._slot_gate.triggered:
+            self._slot_gate.succeed()
+
+    def _execute(self, group: List[_Pending]):
+        try:
+            yield from super()._execute(group)
+        finally:
+            self._retired()

@@ -26,3 +26,4 @@ from . import qos  # noqa: F401,E402
 from . import pipeline  # noqa: F401,E402
 from . import volume  # noqa: F401,E402
 from . import open_loop  # noqa: F401,E402
+from . import dvol  # noqa: F401,E402

@@ -100,3 +100,33 @@ class StorageNetwork:
     def total_payload_gbps_capacity(self) -> float:
         """Aggregate one-directional payload capacity of all links."""
         return len(self.links) / 2 * self.config.payload_gbps
+
+    def byte_ledger(self) -> dict:
+        """Fabric-wide payload-byte reconciliation.
+
+        Endpoint counters charge each message's payload exactly once at
+        the source (``sent``) and once at the destination
+        (``received``); the wire charges every *hop*, so an h-hop
+        message contributes h times its payload to
+        ``link_payload_bytes``, of which h-1 shares are relays
+        (``forwarded_bytes``).  After the network drains::
+
+            endpoint_sent_bytes == endpoint_received_bytes
+            link_payload_bytes - forwarded_bytes == endpoint_sent_bytes
+
+        (the second identity counts only traffic that crossed a wire —
+        node-local sends never leave the internal switch and appear in
+        the endpoint counters alone).
+        """
+        return {
+            "endpoint_sent_bytes": sum(
+                ep.sent_bytes.value for ep in self._endpoints.values()),
+            "endpoint_received_bytes": sum(
+                ep.received_bytes.value
+                for ep in self._endpoints.values()),
+            "link_payload_bytes": sum(
+                link.payload_bytes.value for link in self.links),
+            "forwarded_bytes": sum(
+                switch.forwarded_bytes.value
+                for switch in self.switches),
+        }

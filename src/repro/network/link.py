@@ -33,6 +33,10 @@ class SerialLink:
                                    name=f"{name}-credits")
         self._rx_buffer = Store(sim, name=f"{name}-rx")
         self.packets_sent = Counter(f"{name}-pkts")
+        # Payload bytes serialized onto this wire — every hop charges
+        # its own link, so an h-hop message shows up here h times while
+        # the endpoint counters see it exactly once at each end.
+        self.payload_bytes = Counter(f"{name}-payload-bytes")
         self.meter = BandwidthMeter(sim, name=f"{name}-bw")
 
     def transmit(self, packet: Packet):
@@ -56,6 +60,7 @@ class SerialLink:
             self._tx.release()
         self.sim.process(self._propagate(packet), name="link-prop")
         self.packets_sent.add()
+        self.payload_bytes.add(packet.payload_bytes)
 
     def _propagate(self, packet: Packet):
         """Propagation/SerDes latency, then occupy a far-side buffer slot.

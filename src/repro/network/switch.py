@@ -33,6 +33,7 @@ class NodeSwitch:
         # Receive buffers, one bounded FIFO per logical endpoint.
         self.endpoint_queues: Dict[int, Store] = {}
         self.forwarded = Counter(f"node{node}-forwarded")
+        self.forwarded_bytes = Counter(f"node{node}-forwarded-bytes")
         self.delivered = Counter(f"node{node}-delivered")
 
     # -- wiring (done by StorageNetwork at build time) ---------------------
@@ -91,5 +92,6 @@ class NodeSwitch:
             else:
                 port = self.table.next_port(packet.dst, packet.endpoint)
                 self.forwarded.add()
+                self.forwarded_bytes.add(packet.payload_bytes)
                 yield self.sim.process(
                     self.out_links[port].transmit(packet))

@@ -18,7 +18,8 @@ import importlib
 import pytest
 
 PACKAGES = ["repro.io", "repro.sim", "repro.api", "repro.flash",
-            "repro.host", "repro.network", "repro.ftl", "repro.volume"]
+            "repro.host", "repro.network", "repro.ftl", "repro.volume",
+            "repro.dvol"]
 
 #: Package -> names that must stay exported (the QoS policies and
 #: bandwidth accounting from PR 3, the batch/read-coalescing types
@@ -40,7 +41,7 @@ PINNED = {
     ],
     "repro.api": [
         "ScenarioSpec", "WorkloadSpec", "TenantSpec", "VolumeSpec",
-        "Session", "RunResult", "experiment",
+        "DistributedVolumeSpec", "Session", "RunResult", "experiment",
     ],
     "repro.ftl": [
         "BlockAllocator", "ALLOCATION_MODES", "PageMap",
@@ -48,6 +49,10 @@ PINNED = {
     ],
     "repro.volume": [
         "LogicalVolume",
+    ],
+    "repro.dvol": [
+        "ShardedVolume", "PlacementPlanner", "PLACEMENT_MODES",
+        "DvolRouter", "ShardServiceIface", "RemoteCoalescer",
     ],
 }
 

@@ -17,6 +17,11 @@ import pytest
 
 from repro.analysis.qos import qos_scenario
 from repro.api import BENCH_GEOMETRY, Session
+from repro.experiments.dvol import (
+    dvol_local_spec,
+    dvol_qd_sweep_spec,
+    dvol_scan_spec,
+)
 from repro.experiments.fig13 import isp_multi_spec
 from repro.experiments.pipeline import batching_spec, qd_sweep_spec
 from repro.experiments.qos import qos_cluster_scenario, qos_gc_scenario
@@ -172,6 +177,46 @@ def test_trace_sampling_changes_no_scheduling(maker):
     for tenant, stats in full.tenant_stats.items():
         estimate = sampled.tenant_stats[tenant]["completed"]
         assert abs(estimate - stats["completed"]) < 7
+
+
+@pytest.mark.parametrize("maker", [
+    lambda: dvol_scan_spec(True),
+    lambda: dvol_scan_spec(False),
+    lambda: dvol_local_spec(),
+], ids=["dvol-coalesce-on", "dvol-coalesce-off", "dvol-local"])
+def test_dvol_scan_scenario_is_deterministic(maker):
+    # The distributed read/write path — placement, request routing,
+    # response-endpoint selection, the remote coalescer's staging and
+    # slot pacing — must replay byte-identically.  The coalesce-off
+    # case doubles as the acceptance pin that disabling remote
+    # coalescing changes no scheduling decision between reruns.
+    spec = _shorten(maker(), 400_000)
+    first, second = _run_twice(spec)
+    assert first == second
+
+
+@pytest.mark.parametrize("n_nodes", [1, 2])
+def test_dvol_qd_sweep_scenario_is_deterministic(n_nodes):
+    spec = _shorten(dvol_qd_sweep_spec(n_nodes, 8), 400_000)
+    first, second = _run_twice(spec)
+    assert first == second
+
+
+def test_importing_dvol_leaves_existing_scenarios_unchanged():
+    # repro.dvol is always imported (the spec layer pulls in its
+    # placement modes), so the no-regression pin is that non-dvol
+    # scenarios build *none* of its machinery — no sharded volume, no
+    # routing tier, no extra endpoints — and replay byte-identically.
+    spec = _shorten(qd_sweep_spec(16), 800_000)
+    session = Session(spec)
+    before = session.run().to_json()
+    assert session.dvol is None
+    assert session._dvol_ifaces == {}
+    # The node's ports are exactly the three fixed ones.
+    assert [p.tenant for p in session.node.splitter.ports] == [
+        "isp", "host", "net"]
+    after = Session(spec).run().to_json()
+    assert before == after
 
 
 def test_random_traffic_is_untouched_by_coalescing():
