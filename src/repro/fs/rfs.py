@@ -49,7 +49,8 @@ class RFS:
         self.sim = sim
         self.device = device
         self.core = LogStructuredCore(sim, device,
-                                      gc_low_watermark=gc_low_watermark)
+                                      gc_low_watermark=gc_low_watermark,
+                                      name="rfs")
         self.page_size = device.geometry.page_size
         self._files: Dict[str, Inode] = {}
         self._next_lpn = 0
@@ -153,4 +154,9 @@ class RFS:
 
     @property
     def gc_runs(self) -> int:
-        return self.core.gc_runs.value
+        return self.core.gc_runs
+
+    @property
+    def gc_stale_moves(self) -> int:
+        """GC copies abandoned because a concurrent write/TRIM won."""
+        return self.core.gc_stale_moves

@@ -2,14 +2,21 @@
 
 * :mod:`~repro.ftl.mapping` — L2P/P2L page map with validity tracking.
 * :mod:`~repro.ftl.allocator` — chip-striped, wear-aware block allocation.
-* :mod:`~repro.ftl.log` — shared log-structured core (writes + greedy GC).
+* :mod:`~repro.ftl.core` — :class:`FtlCore`, the one shared
+  map/allocator/GC substrate every management facade rides.
+* :mod:`~repro.ftl.log` — :class:`LogStructuredCore`, the device-driven
+  facade (BlockDeviceFTL/RFS do their own device I/O).
 * :mod:`~repro.ftl.ftl` — :class:`BlockDeviceFTL`, the compatibility
   block-device path.
+
+(The QoS-port-riding facade over the same core is
+:class:`repro.volume.LogicalVolume`.)
 """
 
 from .allocator import ALLOCATION_MODES, BlockAllocator
+from .core import FtlCore, OutOfSpaceError
 from .ftl import BlockDeviceFTL
-from .log import LogStructuredCore, OutOfSpaceError
+from .log import LogStructuredCore
 from .mapping import BlockState, PageMap
 
 __all__ = [
@@ -17,6 +24,7 @@ __all__ = [
     "BlockState",
     "BlockAllocator",
     "ALLOCATION_MODES",
+    "FtlCore",
     "LogStructuredCore",
     "OutOfSpaceError",
     "BlockDeviceFTL",

@@ -1,0 +1,402 @@
+"""The one log-structured FTL substrate every management facade rides.
+
+The paper's two host-side flash-management designs (Section 4) — the
+driver-level FTL ("a full-fledged FTL implemented in the device driver,
+similar to Fusion IO's driver") and the RFS-style file system ("RFS
+performs some functionality of an FTL, including logical-to-physical
+address mapping and garbage collection") — share one log-structured
+substrate.  :class:`FtlCore` *is* that substrate: it owns the
+:class:`~repro.ftl.mapping.PageMap`, the
+:class:`~repro.ftl.allocator.BlockAllocator` (``striped`` and
+``sequential`` modes), greedy garbage collection with a deterministic
+victim tiebreak, and every invariant the PR-5 review pass hardened:
+
+* **mid-relocation re-checks** — the victim page's reverse mapping is
+  re-read after the relocation read *and* after the relocation write,
+  so a foreground overwrite or TRIM completing while the copy was in
+  flight keeps the newer state (the abandoned copy is retired
+  programmed-and-invalid and counted in ``gc_stale_moves``);
+* **completion-time write accounting** — a write charges
+  ``user_writes``/``total_programs`` only when its program completes; a
+  failed program charges nothing and retires its page
+  programmed-and-invalid, so the identity
+  ``total_programs == user + gc_moved + gc_stale`` always holds and no
+  free space leaks;
+* **the per-block program-order gate** — same-block programs are gated
+  into allocation order (ascending pages) before they are issued, so
+  concurrent writers racing through independently-arbitrated paths
+  never violate the NAND in-block order rule;
+* **read pinning** — foreground reads pin their block against GC's
+  erase for the read's lifetime, so relocation can move the mapping
+  but the physical page is never erased under an in-flight read.
+
+The core performs **no device I/O of its own**.  GC relocation traffic
+goes through the ``io`` backend handed in at construction — three DES
+generator methods:
+
+``gc_read(addr) -> ReadResult`` / ``gc_write(addr, data)`` /
+``gc_erase(addr)``
+
+:class:`~repro.ftl.log.LogStructuredCore` (behind
+:class:`~repro.ftl.ftl.BlockDeviceFTL` and :class:`~repro.fs.rfs.RFS`)
+backs them with direct :class:`~repro.flash.device.StorageDevice`
+commands; :class:`~repro.volume.LogicalVolume` backs them with its
+dedicated low-priority ``volume-gc`` splitter port so relocation is
+QoS-arbitrated.  Foreground I/O likewise stays in the facades — the
+core hands out addresses (:meth:`allocate`), gates program order
+(:meth:`await_program_turn`), and records outcomes
+(:meth:`commit_write` / :meth:`retire_page`); the facade decides *how*
+the bytes move.
+
+Write amplification is accounted per owner: each committed write bumps
+its owner's ``user_writes``; each GC relocation bumps the owning
+tenant's ``gc_moved`` (ownership = the registered LBA window containing
+the moved page, the core's ``name`` when none matches).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..flash import PhysAddr
+from ..sim import Event, Simulator
+from .allocator import ALLOCATION_MODES, BlockAllocator
+from .mapping import PageMap
+
+__all__ = ["FtlCore", "OutOfSpaceError"]
+
+_BlockKey = Tuple[int, int, int, int, int]
+
+
+class OutOfSpaceError(Exception):
+    """No free pages remain even after garbage collection."""
+
+
+class FtlCore:
+    """Shared map/allocator/GC state machine over one node's flash.
+
+    ``io`` is the relocation backend (``gc_read``/``gc_write``/
+    ``gc_erase`` DES generators); serialization of :meth:`allocate`
+    against concurrent callers is the facade's job (the volume holds a
+    one-slot lock, the driver FTL and RFS run their writers in a
+    single logical stream).
+    """
+
+    def __init__(self, sim: Simulator, device, io,
+                 mode: str = "striped", gc_low_watermark: int = 2,
+                 name: str = "ftl"):
+        if mode not in ALLOCATION_MODES:
+            raise ValueError(
+                f"unknown allocation mode {mode!r}; expected one "
+                f"of {ALLOCATION_MODES}")
+        if gc_low_watermark < 1:
+            raise ValueError("gc_low_watermark must be >= 1")
+        self.sim = sim
+        self.device = device
+        self.io = io
+        self.geometry = device.geometry
+        self.name = name
+        self.allocation = mode
+        self.gc_low_watermark = gc_low_watermark
+        self.map = PageMap(self.geometry)
+        self.allocator = BlockAllocator(self.geometry, device.badblocks,
+                                        device.wear, node=device.node,
+                                        mode=mode)
+        self._full_blocks: Set[_BlockKey] = set()
+        self._programmed: Dict[_BlockKey, int] = {}
+        #: block -> next page expected to program; writers (foreground
+        #: and GC alike) gate on it so same-block programs reach the
+        #: chip in allocation order (the NAND in-block order rule).
+        self._program_next: Dict[_BlockKey, int] = {}
+        self._program_gates: Dict[_BlockKey, List[Event]] = {}
+        #: block -> in-flight foreground reads; GC must not erase a
+        #: block out from under one (it would read back erased bytes).
+        self._reading: Dict[_BlockKey, int] = {}
+        self._read_gates: Dict[_BlockKey, List[Event]] = {}
+        #: (start, end, tenant) LBA ownership windows, in registration
+        #: order; GC relocation is attributed to the owning tenant.
+        self._owners: List[Tuple[int, int, str]] = []
+        self.user_writes: Dict[str, int] = {}
+        self.gc_moved: Dict[str, int] = {}
+        self.total_programs = 0
+        self.gc_runs = 0
+        self.gc_moved_pages = 0
+        #: relocations a foreground write/TRIM overtook mid-flight: the
+        #: copy was programmed but discarded (never remapped).
+        self.gc_stale_moves = 0
+        #: collected victim block keys in collection order — GC victim
+        #: order is reproducible by construction (deterministic
+        #: tiebreak), and this is the pin equivalence tests compare.
+        self.gc_victims: List[_BlockKey] = []
+        self.prefilled_pages = 0
+
+    # -- ownership / accounting -----------------------------------------
+    def register_owner(self, start: int, end: int, tenant: str) -> None:
+        """Attribute the LBA window ``[start, end)`` to ``tenant``."""
+        self._owners.append((start, end, tenant))
+        self.user_writes.setdefault(tenant, 0)
+        self.gc_moved.setdefault(tenant, 0)
+
+    def owner_of(self, lpn: int) -> str:
+        """The tenant owning ``lpn``'s window (the core name if none)."""
+        for start, end, tenant in self._owners:
+            if start <= lpn < end:
+                return tenant
+        return self.name
+
+    @property
+    def user_writes_total(self) -> int:
+        return sum(self.user_writes.values())
+
+    def write_amplification(self, tenant: Optional[str] = None) -> float:
+        """Programs per user write: 1.0 = no GC traffic charged.
+
+        With a ``tenant``, the per-tenant view — that tenant's user
+        writes plus the relocations its pages caused; without, the
+        volume-wide aggregate.  Stale (abandoned) copies are charged to
+        nobody: they are GC overhead, not any tenant's data movement.
+        """
+        if tenant is not None:
+            user = self.user_writes.get(tenant, 0)
+            if user == 0:
+                return 1.0
+            return (user + self.gc_moved.get(tenant, 0)) / user
+        user = self.user_writes_total
+        if user == 0:
+            return 1.0
+        return (user + self.gc_moved_pages) / user
+
+    # -- mapping ---------------------------------------------------------
+    def physical_of(self, lpn: int) -> Optional[PhysAddr]:
+        """Current physical location of a logical page (None=unmapped)."""
+        return self.map.lookup(lpn)
+
+    def trim(self, lpn: int) -> None:
+        """Invalidate a logical page (TRIM); space is reclaimed by GC."""
+        self.map.unmap(lpn)
+
+    @staticmethod
+    def _key(addr: PhysAddr) -> _BlockKey:
+        return (addr.node, addr.card, addr.bus, addr.chip, addr.block)
+
+    @staticmethod
+    def _addr_of(key: _BlockKey) -> PhysAddr:
+        node, card, bus, chip, block = key
+        return PhysAddr(node=node, card=card, bus=bus, chip=chip,
+                        block=block, page=0)
+
+    # -- program bookkeeping ---------------------------------------------
+    def _note_program(self, addr: PhysAddr) -> None:
+        """Record one programmed page; track fully-programmed blocks.
+
+        Blocks become GC-eligible only once *every* allocated page has
+        actually programmed, so GC never relocates (or erases under) a
+        page whose program is still in flight.
+        """
+        self.map.note_programmed(addr)
+        key = self._key(addr)
+        count = self._programmed.get(key, 0) + 1
+        if count >= self.geometry.pages_per_block:
+            self._programmed.pop(key, None)
+            self._full_blocks.add(key)
+        else:
+            self._programmed[key] = count
+
+    def await_program_turn(self, addr: PhysAddr):
+        """Hold a program until every earlier page of its block has
+        programmed (DES generator).
+
+        The allocator hands out a block's pages in ascending order, but
+        the programs themselves may race through independently-
+        arbitrated paths (tenant QoS ports vs. the low-priority GC
+        port, or concurrent file-system writers).  This gate restores
+        allocation order per block before the command is issued, so the
+        NAND in-block order rule survives arbitration.  It costs no
+        simulated event when programs already arrive in order.
+        """
+        key = self._key(addr)
+        while self._program_next.get(key, 0) < addr.page:
+            gate = Event(self.sim)
+            self._program_gates.setdefault(key, []).append(gate)
+            yield gate
+
+    def program_done(self, addr: PhysAddr) -> None:
+        """Advance the block's program cursor and wake gated writers."""
+        key = self._key(addr)
+        if addr.page >= self._program_next.get(key, 0):
+            self._program_next[key] = addr.page + 1
+        for gate in self._program_gates.pop(key, ()):
+            if not gate.triggered:
+                gate.succeed()
+
+    # -- read pinning ----------------------------------------------------
+    def begin_read(self, addr: PhysAddr) -> None:
+        """Pin ``addr``'s block against GC's erase (pure bookkeeping).
+
+        The mapping may still move meanwhile (the caller then returns
+        the version that was current at resolve time — ordinary
+        out-of-place-FTL semantics), but the physical page must not be
+        erased under the in-flight read.
+        """
+        key = self._key(addr)
+        self._reading[key] = self._reading.get(key, 0) + 1
+
+    def end_read(self, addr: PhysAddr) -> None:
+        """Release a read pin; wake GC if it is waiting to erase."""
+        key = self._key(addr)
+        remaining = self._reading[key] - 1
+        if remaining:
+            self._reading[key] = remaining
+        else:
+            del self._reading[key]
+            for gate in self._read_gates.pop(key, ()):
+                if not gate.triggered:
+                    gate.succeed()
+
+    # -- allocation / write completion -----------------------------------
+    def allocate(self):
+        """Garbage-collect as needed, then hand out the next physical
+        page to program (DES generator).
+
+        The caller must serialize concurrent ``allocate`` calls (the
+        volume's one-slot lock); raises :class:`OutOfSpaceError` when
+        even GC cannot free a page.
+        """
+        yield from self.ensure_space()
+        addr = self.allocator.next_page()
+        if addr is None:
+            raise OutOfSpaceError("no free pages after GC")
+        return addr
+
+    def commit_write(self, lpn: int, addr: PhysAddr, owner: str) -> None:
+        """Record a *completed* program: remap, retire, charge.
+
+        Called only when the program landed — the remap (old mapping
+        invalidated, LPN pointed at the fresh page) happens at
+        completion, so reads resolving meanwhile still see the previous
+        version and concurrent writes to one LPN settle
+        last-completer-wins.  Accounting follows completion too.
+        """
+        self.map.map_page(lpn, addr)
+        self._note_program(addr)
+        self.program_done(addr)
+        self.user_writes[owner] = self.user_writes.get(owner, 0) + 1
+        self.total_programs += 1
+
+    def retire_page(self, addr: PhysAddr) -> None:
+        """Retire a page whose program failed (or was abandoned).
+
+        The page is burned whether or not the program landed: count it
+        programmed-and-invalid (never mapped) instead of leaking it, so
+        the block keeps filling toward GC eligibility and no user write
+        is charged.
+        """
+        self._note_program(addr)
+        self.program_done(addr)
+
+    def prefill(self, start: int, count: int) -> None:
+        """Map ``count`` logical pages from ``start``, instantly.
+
+        Functional setup (zero simulated time, no device commands):
+        the pages get real physical locations from the allocator —
+        stripe-adjacent runs under sequential allocation — and count as
+        programmed for GC purposes, but not as user writes, so
+        write-amplification measures only the workload.
+        """
+        for lpn in range(start, start + count):
+            addr = self.allocator.next_page()
+            if addr is None:
+                raise OutOfSpaceError(
+                    f"prefill exhausted the device at LPN {lpn}")
+            self.map.map_page(lpn, addr)
+            self._note_program(addr)
+            self.program_done(addr)
+            self.prefilled_pages += 1
+
+    # -- garbage collection ----------------------------------------------
+    def ensure_space(self):
+        """Collect until the free-block floor holds (DES generator; any
+        facade-level allocation lock must already be held)."""
+        while (self.allocator.free_blocks < self.gc_low_watermark
+               and self._full_blocks):
+            freed = yield from self.collect_once()
+            if not freed:
+                break
+
+    def collect_once(self):
+        """Greedy GC: relocate the fewest-valid full block through the
+        ``io`` backend, erase it.  Returns True if reclaimed.
+
+        The victim tiebreak is the block key tuple, so equal-validity
+        ties resolve identically on every run and every facade — GC
+        victim order is reproducible by construction, never an artifact
+        of set-iteration order.
+
+        Relocation never races foreground completions: the mapping is
+        re-checked after the relocation read and again after the
+        relocation write, so an LPN a foreground write remapped (or a
+        TRIM invalidated) while its copy was in flight keeps the newer
+        state — last-completer-wins is decided by the *map*, never by
+        GC overwriting it with stale data.
+        """
+        victim_key = min(
+            self._full_blocks,
+            key=lambda key: (self.map.block_state(
+                self._addr_of(key)).valid_count, key),
+            default=None)
+        if victim_key is None:
+            return False
+        victim = self._addr_of(victim_key)
+        state = self.map.block_state(victim)
+        if state.valid_count >= self.geometry.pages_per_block:
+            # Every page still valid: nothing to reclaim anywhere.
+            return False
+        self._full_blocks.discard(victim_key)
+        self.gc_runs += 1
+        self.gc_victims.append(victim_key)
+        for page_addr in list(self.map.valid_pages_of(victim)):
+            lpn = self.map.reverse(page_addr)
+            if lpn is None:
+                continue
+            result = yield from self.io.gc_read(page_addr)
+            if self.map.reverse(page_addr) != lpn:
+                # A foreground write or TRIM overtook the relocation
+                # while the read was in flight: nothing left to move.
+                continue
+            dest = self.allocator.next_page()
+            if dest is None:
+                raise OutOfSpaceError("GC found no destination page")
+            yield from self.await_program_turn(dest)
+            try:
+                yield from self.io.gc_write(dest, result.data)
+            finally:
+                self._note_program(dest)
+                self.program_done(dest)
+            self.total_programs += 1
+            if self.map.reverse(page_addr) != lpn:
+                # Overtaken during the program: the copy at ``dest`` is
+                # stale.  Keep the newer mapping (or the TRIM) — never
+                # clobber it with relocated data — and leave ``dest``
+                # programmed-and-invalid for a later GC pass.
+                self.gc_stale_moves += 1
+                continue
+            self.map.map_page(lpn, dest)
+            owner = self.owner_of(lpn)
+            self.gc_moved[owner] = self.gc_moved.get(owner, 0) + 1
+            self.gc_moved_pages += 1
+        # Erase barrier: foreground reads that resolved a page of this
+        # block before the relocation must finish first — erasing under
+        # them would hand back erased bytes instead of their data.
+        while self._reading.get(victim_key):
+            gate = Event(self.sim)
+            self._read_gates.setdefault(victim_key, []).append(gate)
+            yield gate
+        yield from self.io.gc_erase(victim)
+        self.map.drop_block(victim)
+        self._programmed.pop(victim_key, None)
+        # The block only became a victim once fully programmed, so no
+        # writer can still be gated on it; reset its program cursor for
+        # the next time the allocator opens it.
+        self._program_next.pop(victim_key, None)
+        self.allocator.release_block(victim)
+        return True

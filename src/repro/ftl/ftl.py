@@ -32,7 +32,8 @@ class BlockDeviceFTL:
                 f"overprovision must be in [0, 1), got {overprovision}")
         self.sim = sim
         self.core = LogStructuredCore(sim, device,
-                                      gc_low_watermark=gc_low_watermark)
+                                      gc_low_watermark=gc_low_watermark,
+                                      name="ftl")
         physical_pages = device.geometry.pages_per_node
         self.logical_pages = int(physical_pages * (1.0 - overprovision))
         self.page_size = device.geometry.page_size
@@ -67,4 +68,9 @@ class BlockDeviceFTL:
 
     @property
     def gc_runs(self) -> int:
-        return self.core.gc_runs.value
+        return self.core.gc_runs
+
+    @property
+    def gc_stale_moves(self) -> int:
+        """GC copies abandoned because a concurrent write/TRIM won."""
+        return self.core.gc_stale_moves

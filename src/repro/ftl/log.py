@@ -1,4 +1,4 @@
-"""Shared log-structured flash management core.
+"""Device-driven facade over the shared log-structured FTL core.
 
 Both host-side management designs the paper discusses sit on the same
 machinery:
@@ -9,152 +9,145 @@ machinery:
   FTL, including logical-to-physical address mapping and garbage
   collection".
 
-This core owns the allocator, the page map, greedy garbage collection and
-the write-amplification accounting; the FTL and RFS facades translate
-block/file operations onto it.
+The machinery itself lives in :class:`~repro.ftl.core.FtlCore` — the
+map, allocator, greedy GC with mid-relocation re-checks, completion-time
+accounting and the per-block program-order gate are shared with
+:class:`~repro.volume.LogicalVolume`.  This facade is the *device-driven*
+policy shell: it performs its own :class:`~repro.flash.device.
+StorageDevice` I/O (foreground and GC relocation alike), which is what
+the FTL and RFS facades translating block/file operations need.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Set, Tuple
+from typing import Optional
 
-from ..flash import PhysAddr, UncorrectablePageError
+from ..flash import PhysAddr
 from ..flash.device import StorageDevice
-from ..sim import Counter, Simulator
-from .allocator import BlockAllocator
-from .mapping import PageMap
+from ..sim import Simulator
+from .core import FtlCore, OutOfSpaceError
 
 __all__ = ["LogStructuredCore", "OutOfSpaceError"]
 
-_BlockKey = Tuple[int, int, int, int, int]
-
-
-class OutOfSpaceError(Exception):
-    """No free pages remain even after garbage collection."""
-
 
 class LogStructuredCore:
-    """Append-only page writes + greedy GC over a :class:`StorageDevice`."""
+    """Append-only page writes + greedy GC over a :class:`StorageDevice`.
+
+    A thin shell over :class:`FtlCore`: this class owns the device I/O
+    (and is the core's GC relocation backend); the core owns every
+    mapping, allocation, ordering and accounting decision.
+    """
 
     def __init__(self, sim: Simulator, device: StorageDevice,
-                 gc_low_watermark: int = 2):
-        if gc_low_watermark < 1:
-            raise ValueError("gc_low_watermark must be >= 1")
+                 gc_low_watermark: int = 2, name: str = "ftl"):
         self.sim = sim
         self.device = device
         self.geometry = device.geometry
-        self.map = PageMap(device.geometry)
-        self.allocator = BlockAllocator(device.geometry, device.badblocks,
-                                        device.wear, node=device.node)
-        self.gc_low_watermark = gc_low_watermark
-        self._full_blocks: Set[_BlockKey] = set()
-        self.user_writes = Counter("user-writes")
-        self.total_writes = Counter("total-writes")
-        self.gc_runs = Counter("gc-runs")
-        self.gc_moved_pages = Counter("gc-moved")
+        self.core = FtlCore(sim, device, io=self,
+                            gc_low_watermark=gc_low_watermark, name=name)
 
-    # -- capacity ------------------------------------------------------------
+    # -- shared-core state, re-exported ---------------------------------
+    @property
+    def map(self):
+        return self.core.map
+
+    @property
+    def allocator(self):
+        return self.core.allocator
+
+    @property
+    def gc_low_watermark(self) -> int:
+        return self.core.gc_low_watermark
+
+    # -- telemetry -----------------------------------------------------------
+    @property
+    def user_writes(self) -> int:
+        return self.core.user_writes_total
+
+    @property
+    def total_writes(self) -> int:
+        """Every flash program charged: user + GC-moved + stale."""
+        return self.core.total_programs
+
+    @property
+    def gc_runs(self) -> int:
+        return self.core.gc_runs
+
+    @property
+    def gc_moved_pages(self) -> int:
+        return self.core.gc_moved_pages
+
+    @property
+    def gc_stale_moves(self) -> int:
+        """Relocations abandoned because a foreground write or TRIM
+        completed mid-copy (the copy stayed programmed-and-invalid)."""
+        return self.core.gc_stale_moves
+
     @property
     def write_amplification(self) -> float:
         """Total flash programs per user write (1.0 = no GC traffic)."""
-        if self.user_writes.value == 0:
+        if self.core.user_writes_total == 0:
             return 1.0
-        return self.total_writes.value / self.user_writes.value
+        return self.core.total_programs / self.core.user_writes_total
 
     # -- page I/O (DES generators) -------------------------------------------
     def read_lpn(self, lpn: int):
-        """Read a logical page; returns bytes (erased pattern if unmapped)."""
-        addr = self.map.lookup(lpn)
+        """Read a logical page; returns bytes (erased pattern if unmapped).
+
+        The resolved block is pinned against GC's erase for the read's
+        lifetime (the mapping may still move meanwhile — ordinary
+        out-of-place-FTL semantics).
+        """
+        addr = self.core.map.lookup(lpn)
         if addr is None:
             yield self.sim.timeout(0)
             return b"\xff" * self.geometry.page_size
-        result = yield self.sim.process(self.device.read_page(addr))
+        self.core.begin_read(addr)
+        try:
+            result = yield self.sim.process(self.device.read_page(addr))
+        finally:
+            self.core.end_read(addr)
         return result.data
 
     def physical_of(self, lpn: int) -> Optional[PhysAddr]:
         """Current physical location of a logical page (for ISP streams)."""
-        return self.map.lookup(lpn)
+        return self.core.map.lookup(lpn)
 
     def write_lpn(self, lpn: int, data: bytes):
-        """Write (or overwrite) a logical page out-of-place."""
-        yield from self._ensure_space()
-        addr = self.allocator.next_page()
-        if addr is None:
-            raise OutOfSpaceError("no free pages after GC")
-        yield self.sim.process(self.device.write_page(addr, data))
-        self.map.map_page(lpn, addr)
-        self.map.note_programmed(addr)
-        if addr.page == self.geometry.pages_per_block - 1:
-            self._full_blocks.add(self._key(addr))
-        self.user_writes.add()
-        self.total_writes.add()
+        """Write (or overwrite) a logical page out-of-place.
+
+        The remap and the ``user_writes``/``total_writes`` charge happen
+        at program *completion*: a write whose program fails charges
+        nothing, and its page is retired programmed-and-invalid so the
+        block still fills toward GC eligibility (no free-space leak).
+        """
+        addr = yield from self.core.allocate()
+        yield from self.core.await_program_turn(addr)
+        try:
+            yield self.sim.process(self.device.write_page(addr, data))
+        except BaseException:
+            self.core.retire_page(addr)
+            raise
+        self.core.commit_write(lpn, addr, self.core.name)
 
     def trim_lpn(self, lpn: int):
         """Invalidate a logical page (TRIM); frees space lazily via GC."""
         yield self.sim.timeout(0)
-        self.map.unmap(lpn)
+        self.core.trim(lpn)
 
     # -- garbage collection ----------------------------------------------------
-    def _ensure_space(self):
-        while (self.allocator.free_blocks < self.gc_low_watermark
-               and self._full_blocks):
-            freed = yield from self._collect_once()
-            if not freed:
-                break
-
-    def _collect_once(self):
-        """Greedy GC: relocate the fullest-of-invalid block, erase it.
-
-        Returns True if a block was reclaimed.
-        """
-        victim_key = min(
-            self._full_blocks,
-            key=lambda key: self.map.block_state(
-                self._addr_of(key)).valid_count,
-            default=None)
-        if victim_key is None:
-            return False
-        victim = self._addr_of(victim_key)
-        state = self.map.block_state(victim)
-        if state.valid_count >= self.geometry.pages_per_block:
-            # Every page still valid: nothing to reclaim anywhere.
-            return False
-        self._full_blocks.discard(victim_key)
-        self.gc_runs.add()
-        for page_addr in list(self.map.valid_pages_of(victim)):
-            lpn = self.map.reverse(page_addr)
-            if lpn is None:
-                continue
-            result = yield self.sim.process(
-                self.device.read_page(page_addr))
-            dest = self.allocator.next_page()
-            if dest is None:
-                raise OutOfSpaceError("GC found no destination page")
-            yield self.sim.process(
-                self.device.write_page(dest, result.data))
-            self.map.map_page(lpn, dest)
-            self.map.note_programmed(dest)
-            if dest.page == self.geometry.pages_per_block - 1:
-                self._full_blocks.add(self._key(dest))
-            self.total_writes.add()
-            self.gc_moved_pages.add()
-        yield self.sim.process(self.device.erase_block(victim))
-        self.map.drop_block(victim)
-        self.allocator.release_block(victim)
-        return True
-
     def force_gc(self):
         """Run one GC pass explicitly (DES generator) -> bool reclaimed."""
-        reclaimed = yield from self._collect_once()
+        reclaimed = yield from self.core.collect_once()
         return reclaimed
 
-    # -- helpers ---------------------------------------------------------------
-    @staticmethod
-    def _key(addr: PhysAddr) -> _BlockKey:
-        return (addr.node, addr.card, addr.bus, addr.chip, addr.block)
+    # -- GC relocation backend (FtlCore ``io``) --------------------------------
+    def gc_read(self, addr: PhysAddr):
+        result = yield self.sim.process(self.device.read_page(addr))
+        return result
 
-    @staticmethod
-    def _addr_of(key: _BlockKey) -> PhysAddr:
-        node, card, bus, chip, block = key
-        return PhysAddr(node=node, card=card, bus=bus, chip=chip,
-                        block=block, page=0)
+    def gc_write(self, addr: PhysAddr, data: bytes):
+        yield self.sim.process(self.device.write_page(addr, data))
+
+    def gc_erase(self, addr: PhysAddr):
+        yield self.sim.process(self.device.erase_block(addr))

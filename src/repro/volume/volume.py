@@ -1,13 +1,12 @@
 """Logical volumes: host-side FTL state driving QoS-arbitrated I/O.
 
 :class:`LogicalVolume` is the write-path subsystem sitting between
-:class:`~repro.api.session.Session` tenants and the device: it owns the
-host-side flash-management state of the paper's driver FTL ("a
-full-fledged FTL implemented in the device driver, similar to Fusion
-IO's driver", Section 4) — an L2P :class:`~repro.ftl.mapping.PageMap`,
-a :class:`~repro.ftl.allocator.BlockAllocator` (``sequential`` mode by
+:class:`~repro.api.session.Session` tenants and the device: it rides the
+shared log-structured substrate (:class:`~repro.ftl.core.FtlCore` — the
+L2P :class:`~repro.ftl.mapping.PageMap`, the
+:class:`~repro.ftl.allocator.BlockAllocator` (``sequential`` mode by
 default, so logically consecutive writes land on stripe-adjacent
-physical runs), validity tracking and greedy garbage collection — but,
+physical runs), validity tracking and greedy garbage collection) but,
 unlike :class:`~repro.ftl.ftl.BlockDeviceFTL`, it performs **no device
 I/O of its own**:
 
@@ -31,7 +30,8 @@ ascending page order) before they are issued, so QoS arbitration across
 ports — foreground tenant ports vs. the low-priority GC port — can
 never program a lower page after a higher one inside a block: the NAND
 in-block order rule holds across commands, not just within one
-multi-page command.
+multi-page command.  Both invariants live in the shared core, so the
+driver FTL and RFS facades inherit them too.
 
 Write amplification is accounted per tenant: each logical write bumps
 its issuer's ``user_writes``; each GC relocation bumps the *owning*
@@ -42,24 +42,23 @@ the moved page), so ``write_amplification(tenant)`` reports
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Optional
 
 from ..flash import PhysAddr
-from ..ftl import ALLOCATION_MODES, BlockAllocator, OutOfSpaceError, PageMap
-from ..sim import Event, Resource, Simulator
+from ..ftl import FtlCore
+from ..sim import Resource, Simulator
 
 __all__ = ["LogicalVolume"]
-
-_BlockKey = Tuple[int, int, int, int, int]
 
 
 class LogicalVolume:
     """FTL-backed logical block volume over one node's storage device.
 
-    ``gc_port`` is the dedicated :class:`~repro.flash.splitter.
-    SplitterPort` GC relocation traffic is injected through; foreground
-    I/O is driven by whatever host interface the caller hands to
-    :meth:`read_flow` / :meth:`write_flow`.
+    A thin shell over :class:`FtlCore`: this class owns the QoS-riding
+    I/O (foreground flows through the caller's host interface, GC
+    relocation through ``gc_port``, the dedicated :class:`~repro.flash.
+    splitter.SplitterPort`) and the logical-capacity policy; the core
+    owns every mapping, allocation, ordering and accounting decision.
     """
 
     def __init__(self, sim: Simulator, device, gc_port,
@@ -70,51 +69,84 @@ class LogicalVolume:
         if not 0.0 <= overprovision < 1.0:
             raise ValueError(
                 f"overprovision must be in [0, 1), got {overprovision}")
-        if allocation not in ALLOCATION_MODES:
-            raise ValueError(
-                f"unknown allocation mode {allocation!r}; expected one "
-                f"of {ALLOCATION_MODES}")
-        if gc_low_watermark < 1:
-            raise ValueError("gc_low_watermark must be >= 1")
         self.sim = sim
         self.device = device
         self.geometry = device.geometry
         self.gc_port = gc_port
         self.name = name
-        self.allocation = allocation
         self.overprovision = overprovision
-        self.gc_low_watermark = gc_low_watermark
-        self.map = PageMap(self.geometry)
-        self.allocator = BlockAllocator(self.geometry, device.badblocks,
-                                        device.wear, node=device.node,
-                                        mode=allocation)
+        self.core = FtlCore(sim, device, io=self, mode=allocation,
+                            gc_low_watermark=gc_low_watermark, name=name)
         self.logical_pages = int(
             self.geometry.pages_per_node * (1.0 - overprovision))
         self.page_size = self.geometry.page_size
         self._lock = Resource(sim, capacity=1, name=f"{name}-alloc")
-        self._full_blocks: Set[_BlockKey] = set()
-        self._programmed: Dict[_BlockKey, int] = {}
-        #: block -> next page expected to program; writers (foreground
-        #: and GC alike) gate on it so same-block programs reach the
-        #: chip in allocation order (the NAND in-block order rule).
-        self._program_next: Dict[_BlockKey, int] = {}
-        self._program_gates: Dict[_BlockKey, List[Event]] = {}
-        #: block -> in-flight foreground reads; GC must not erase a
-        #: block out from under one (it would read back erased bytes).
-        self._reading: Dict[_BlockKey, int] = {}
-        self._read_gates: Dict[_BlockKey, List[Event]] = {}
-        #: (start, end, tenant) LBA ownership windows, in registration
-        #: order; GC relocation is attributed to the owning tenant.
-        self._owners: List[Tuple[int, int, str]] = []
-        self.user_writes: Dict[str, int] = {}
-        self.gc_moved: Dict[str, int] = {}
-        self.total_programs = 0
-        self.gc_runs = 0
-        self.gc_moved_pages = 0
-        #: relocations a foreground write/TRIM overtook mid-flight: the
-        #: copy was programmed but discarded (never remapped).
-        self.gc_stale_moves = 0
-        self.prefilled_pages = 0
+
+    # -- shared-core state, re-exported ---------------------------------
+    @property
+    def map(self):
+        return self.core.map
+
+    @property
+    def allocator(self):
+        return self.core.allocator
+
+    @property
+    def allocation(self) -> str:
+        return self.core.allocation
+
+    @property
+    def gc_low_watermark(self) -> int:
+        return self.core.gc_low_watermark
+
+    @property
+    def user_writes(self) -> dict:
+        return self.core.user_writes
+
+    @property
+    def gc_moved(self) -> dict:
+        return self.core.gc_moved
+
+    @property
+    def total_programs(self) -> int:
+        return self.core.total_programs
+
+    @property
+    def gc_runs(self) -> int:
+        return self.core.gc_runs
+
+    @property
+    def gc_moved_pages(self) -> int:
+        return self.core.gc_moved_pages
+
+    @property
+    def gc_stale_moves(self) -> int:
+        return self.core.gc_stale_moves
+
+    @property
+    def prefilled_pages(self) -> int:
+        return self.core.prefilled_pages
+
+    @property
+    def _full_blocks(self):
+        return self.core._full_blocks
+
+    @property
+    def _programmed(self):
+        return self.core._programmed
+
+    @property
+    def _program_next(self):
+        return self.core._program_next
+
+    def _note_program(self, addr: PhysAddr) -> None:
+        self.core._note_program(addr)
+
+    def _await_program_turn(self, addr: PhysAddr):
+        yield from self.core.await_program_turn(addr)
+
+    def _program_done(self, addr: PhysAddr) -> None:
+        self.core.program_done(addr)
 
     # -- ownership / accounting -----------------------------------------
     def register_owner(self, start: int, size: int, tenant: str) -> None:
@@ -123,16 +155,11 @@ class LogicalVolume:
             raise ValueError(
                 f"window [{start}, {start + size}) outside the volume's "
                 f"{self.logical_pages} logical pages")
-        self._owners.append((start, start + size, tenant))
-        self.user_writes.setdefault(tenant, 0)
-        self.gc_moved.setdefault(tenant, 0)
+        self.core.register_owner(start, start + size, tenant)
 
     def owner_of(self, lpn: int) -> str:
         """The tenant owning ``lpn``'s window (the volume name if none)."""
-        for start, end, tenant in self._owners:
-            if start <= lpn < end:
-                return tenant
-        return self.name
+        return self.core.owner_of(lpn)
 
     def write_amplification(self, tenant: Optional[str] = None) -> float:
         """Programs per user write: 1.0 = no GC traffic charged.
@@ -141,35 +168,28 @@ class LogicalVolume:
         writes plus the relocations its pages caused; without, the
         volume-wide aggregate.
         """
-        if tenant is not None:
-            user = self.user_writes.get(tenant, 0)
-            if user == 0:
-                return 1.0
-            return (user + self.gc_moved.get(tenant, 0)) / user
-        user = sum(self.user_writes.values())
-        if user == 0:
-            return 1.0
-        return (user + self.gc_moved_pages) / user
+        return self.core.write_amplification(tenant)
 
     def stats(self) -> dict:
         """JSON-ready counters for ``RunResult.metrics``."""
+        core = self.core
         return {
             "logical_pages": self.logical_pages,
-            "mapped_pages": self.map.mapped_count,
-            "prefilled_pages": self.prefilled_pages,
-            "free_blocks": self.allocator.free_blocks,
-            "allocation": self.allocation,
+            "mapped_pages": core.map.mapped_count,
+            "prefilled_pages": core.prefilled_pages,
+            "free_blocks": core.allocator.free_blocks,
+            "allocation": core.allocation,
             "overprovision": self.overprovision,
-            "user_writes": dict(self.user_writes),
-            "gc_moved": dict(self.gc_moved),
-            "gc_runs": self.gc_runs,
-            "gc_moved_pages": self.gc_moved_pages,
-            "gc_stale_moves": self.gc_stale_moves,
-            "total_programs": self.total_programs,
+            "user_writes": dict(core.user_writes),
+            "gc_moved": dict(core.gc_moved),
+            "gc_runs": core.gc_runs,
+            "gc_moved_pages": core.gc_moved_pages,
+            "gc_stale_moves": core.gc_stale_moves,
+            "total_programs": core.total_programs,
             "write_amplification": {
-                tenant: self.write_amplification(tenant)
-                for tenant in self.user_writes},
-            "overall_write_amplification": self.write_amplification(),
+                tenant: core.write_amplification(tenant)
+                for tenant in core.user_writes},
+            "overall_write_amplification": core.write_amplification(),
         }
 
     # -- mapping ---------------------------------------------------------
@@ -182,54 +202,7 @@ class LogicalVolume:
     def physical_of(self, lpn: int) -> Optional[PhysAddr]:
         """Current physical location of a logical page (None=unmapped)."""
         self._check_lpn(lpn)
-        return self.map.lookup(lpn)
-
-    @staticmethod
-    def _key(addr: PhysAddr) -> _BlockKey:
-        return (addr.node, addr.card, addr.bus, addr.chip, addr.block)
-
-    def _note_program(self, addr: PhysAddr) -> None:
-        """Record one programmed page; track fully-programmed blocks.
-
-        Blocks become GC-eligible only once *every* allocated page has
-        actually programmed, so GC never relocates (or erases under) a
-        page whose program is still in flight.
-        """
-        self.map.note_programmed(addr)
-        key = self._key(addr)
-        count = self._programmed.get(key, 0) + 1
-        if count >= self.geometry.pages_per_block:
-            self._programmed.pop(key, None)
-            self._full_blocks.add(key)
-        else:
-            self._programmed[key] = count
-
-    def _await_program_turn(self, addr: PhysAddr):
-        """Hold a program until every earlier page of its block has
-        programmed (DES generator).
-
-        The allocator hands out a block's pages in ascending order, but
-        the programs themselves race through independently-arbitrated
-        ports (tenant QoS vs. the low-priority GC port).  This gate
-        restores allocation order per block before the command is
-        issued, so the NAND in-block order rule survives arbitration.
-        Same-block pages are a full stripe apart in allocation order,
-        so the gate almost never binds at realistic queue depths.
-        """
-        key = self._key(addr)
-        while self._program_next.get(key, 0) < addr.page:
-            gate = Event(self.sim)
-            self._program_gates.setdefault(key, []).append(gate)
-            yield gate
-
-    def _program_done(self, addr: PhysAddr) -> None:
-        """Advance the block's program cursor and wake gated writers."""
-        key = self._key(addr)
-        if addr.page >= self._program_next.get(key, 0):
-            self._program_next[key] = addr.page + 1
-        for gate in self._program_gates.pop(key, ()):
-            if not gate.triggered:
-                gate.succeed()
+        return self.core.map.lookup(lpn)
 
     def prefill(self, start: int, count: int) -> None:
         """Map ``count`` logical pages from ``start``, instantly.
@@ -240,16 +213,11 @@ class LogicalVolume:
         programmed for GC purposes, but not as user writes, so
         write-amplification measures only the workload.
         """
-        for lpn in range(start, start + count):
-            self._check_lpn(lpn)
-            addr = self.allocator.next_page()
-            if addr is None:
-                raise OutOfSpaceError(
-                    f"prefill exhausted the device at LPN {lpn}")
-            self.map.map_page(lpn, addr)
-            self._note_program(addr)
-            self._program_done(addr)
-            self.prefilled_pages += 1
+        if count < 1:
+            return
+        self._check_lpn(start)
+        self._check_lpn(start + count - 1)
+        self.core.prefill(start, count)
 
     # -- foreground flows (DES generators) -------------------------------
     def read_flow(self, lpn: int, iface, software_path: bool,
@@ -262,7 +230,7 @@ class LogicalVolume:
         coalesced-interrupt submission path.
         """
         self._check_lpn(lpn)
-        addr = self.map.lookup(lpn)
+        addr = self.core.map.lookup(lpn)
         if addr is None:
             yield self.sim.timeout(0)
             return b"\xff" * self.page_size
@@ -270,21 +238,13 @@ class LogicalVolume:
         # mapping may move meanwhile (we then return the version that
         # was current at resolve time — ordinary out-of-place-FTL
         # semantics), but the physical page must not be erased under us.
-        key = self._key(addr)
-        self._reading[key] = self._reading.get(key, 0) + 1
+        self.core.begin_read(addr)
         try:
             result = yield from iface._read_flow(addr, software_path,
                                                  request,
                                                  interrupt=interrupt)
         finally:
-            remaining = self._reading[key] - 1
-            if remaining:
-                self._reading[key] = remaining
-            else:
-                del self._reading[key]
-                for gate in self._read_gates.pop(key, ()):
-                    if not gate.triggered:
-                        gate.succeed()
+            self.core.end_read(addr)
         return result.data
 
     def write_flow(self, iface, lpn: int, data: bytes,
@@ -309,13 +269,10 @@ class LogicalVolume:
         owner = tenant or iface.tenant
         yield self._lock.request()
         try:
-            yield from self._ensure_space()
-            addr = self.allocator.next_page()
-            if addr is None:
-                raise OutOfSpaceError("no free pages after GC")
+            addr = yield from self.core.allocate()
         finally:
             self._lock.release()
-        yield from self._await_program_turn(addr)
+        yield from self.core.await_program_turn(addr)
         try:
             yield from iface._write_flow(addr, data, software_path,
                                          request)
@@ -323,111 +280,32 @@ class LogicalVolume:
             # The page is burned whether or not the program landed:
             # retire it (never mapped, so invalid) instead of leaking
             # it — the block keeps filling toward GC eligibility.
-            self._note_program(addr)
-            self._program_done(addr)
+            self.core.retire_page(addr)
             raise
-        self.map.map_page(lpn, addr)
-        self._note_program(addr)
-        self._program_done(addr)
-        self.user_writes[owner] = self.user_writes.get(owner, 0) + 1
-        self.total_programs += 1
+        self.core.commit_write(lpn, addr, owner)
 
     def trim(self, lpn: int) -> None:
         """Invalidate a logical page (TRIM); space is reclaimed by GC."""
         self._check_lpn(lpn)
-        self.map.unmap(lpn)
+        self.core.trim(lpn)
 
     # -- garbage collection ----------------------------------------------
-    def _ensure_space(self):
-        """Collect until the free-block floor holds (lock must be held)."""
-        while (self.allocator.free_blocks < self.gc_low_watermark
-               and self._full_blocks):
-            freed = yield from self._collect_once()
-            if not freed:
-                break
-
-    def _addr_of(self, key: _BlockKey) -> PhysAddr:
-        node, card, bus, chip, block = key
-        return PhysAddr(node=node, card=card, bus=bus, chip=chip,
-                        block=block, page=0)
-
-    def _collect_once(self):
-        """Greedy GC through the dedicated port: relocate the
-        fewest-valid full block, erase it.  Returns True if reclaimed.
-
-        Relocation never races foreground completions: the mapping is
-        re-checked after the relocation read and again after the
-        relocation write, so an LPN a foreground write remapped (or a
-        TRIM invalidated) while its copy was in flight keeps the newer
-        state — last-completer-wins is decided by the *map*, never by
-        GC overwriting it with stale data.
-        """
-        victim_key = min(
-            self._full_blocks,
-            key=lambda key: (self.map.block_state(
-                self._addr_of(key)).valid_count, key),
-            default=None)
-        if victim_key is None:
-            return False
-        victim = self._addr_of(victim_key)
-        state = self.map.block_state(victim)
-        if state.valid_count >= self.geometry.pages_per_block:
-            # Every page still valid: nothing to reclaim anywhere.
-            return False
-        self._full_blocks.discard(victim_key)
-        self.gc_runs += 1
-        for page_addr in list(self.map.valid_pages_of(victim)):
-            lpn = self.map.reverse(page_addr)
-            if lpn is None:
-                continue
-            result = yield from self.gc_port.read_page(page_addr)
-            if self.map.reverse(page_addr) != lpn:
-                # A foreground write or TRIM overtook the relocation
-                # while the read was in flight: nothing left to move.
-                continue
-            dest = self.allocator.next_page()
-            if dest is None:
-                raise OutOfSpaceError("GC found no destination page")
-            yield from self._await_program_turn(dest)
-            try:
-                yield from self.gc_port.write_page(dest, result.data)
-            finally:
-                self._note_program(dest)
-                self._program_done(dest)
-            self.total_programs += 1
-            if self.map.reverse(page_addr) != lpn:
-                # Overtaken during the program: the copy at ``dest`` is
-                # stale.  Keep the newer mapping (or the TRIM) — never
-                # clobber it with relocated data — and leave ``dest``
-                # programmed-and-invalid for a later GC pass.
-                self.gc_stale_moves += 1
-                continue
-            self.map.map_page(lpn, dest)
-            owner = self.owner_of(lpn)
-            self.gc_moved[owner] = self.gc_moved.get(owner, 0) + 1
-            self.gc_moved_pages += 1
-        # Erase barrier: foreground reads that resolved a page of this
-        # block before the relocation must finish first — erasing under
-        # them would hand back erased bytes instead of their data.
-        while self._reading.get(victim_key):
-            gate = Event(self.sim)
-            self._read_gates.setdefault(victim_key, []).append(gate)
-            yield gate
-        yield from self.gc_port.erase_block(victim)
-        self.map.drop_block(victim)
-        self._programmed.pop(victim_key, None)
-        # The block only became a victim once fully programmed, so no
-        # writer can still be gated on it; reset its program cursor for
-        # the next time the allocator opens it.
-        self._program_next.pop(victim_key, None)
-        self.allocator.release_block(victim)
-        return True
-
     def force_gc(self):
         """Run one GC pass explicitly (DES generator) -> bool reclaimed."""
         yield self._lock.request()
         try:
-            reclaimed = yield from self._collect_once()
+            reclaimed = yield from self.core.collect_once()
         finally:
             self._lock.release()
         return reclaimed
+
+    # -- GC relocation backend (FtlCore ``io``) ---------------------------
+    def gc_read(self, addr: PhysAddr):
+        result = yield from self.gc_port.read_page(addr)
+        return result
+
+    def gc_write(self, addr: PhysAddr, data: bytes):
+        yield from self.gc_port.write_page(addr, data)
+
+    def gc_erase(self, addr: PhysAddr):
+        yield from self.gc_port.erase_block(addr)

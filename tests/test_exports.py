@@ -44,7 +44,7 @@ PINNED = {
         "DistributedVolumeSpec", "Session", "RunResult", "experiment",
     ],
     "repro.ftl": [
-        "BlockAllocator", "ALLOCATION_MODES", "PageMap",
+        "BlockAllocator", "ALLOCATION_MODES", "PageMap", "FtlCore",
         "LogStructuredCore", "OutOfSpaceError", "BlockDeviceFTL",
     ],
     "repro.volume": [

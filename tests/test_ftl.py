@@ -190,8 +190,8 @@ class TestLogCore:
 
         data = sim.run_process(proc(sim))
         assert data.startswith(b"hot data")
-        assert core.gc_runs.value > 0
-        assert core.gc_moved_pages.value >= 0
+        assert core.gc_runs > 0
+        assert core.gc_moved_pages >= 0
         assert device.erases > 0
 
     def test_write_amplification_accounting(self, sim, device):
@@ -204,7 +204,7 @@ class TestLogCore:
         sim.process(proc(sim))
         sim.run()
         assert core.write_amplification >= 1.0
-        assert core.user_writes.value == 2 * GEO.pages_per_node
+        assert core.user_writes == 2 * GEO.pages_per_node
 
     def test_trim_then_read_erased(self, sim, device):
         core = LogStructuredCore(sim, device)
@@ -216,6 +216,166 @@ class TestLogCore:
             return data
 
         assert sim.run_process(proc(sim)) == b"\xff" * 64
+
+
+def full_stripe_core(sim, device):
+    """A legacy core with every chip's least-worn block exactly full.
+
+    Writes LPNs 0..15: the striped rotation lands LPN ``i`` on chip
+    index ``i % 4`` (enumeration order bus-fastest: (0,0,0,0),
+    (0,0,1,0), (0,0,0,1), (0,0,1,1)), page ``i // 4`` — so chip
+    (0,0,0,0)'s block 0 holds LPNs 0, 4, 8, 12 in page order.
+    """
+    core = LogStructuredCore(sim, device, gc_low_watermark=2)
+
+    def fill(sim):
+        for lpn in range(16):
+            yield from core.write_lpn(lpn, f"v{lpn}".encode())
+
+    sim.run_process(fill(sim))
+    return core
+
+
+class TestLegacyCoreGCRaces:
+    """The PR-5 race fixes, ported: the device-driven facade re-checks
+    the mapping around relocation I/O exactly like the volume core."""
+
+    def _trimmed_core(self, sim, device):
+        # Victim by construction: TRIM LPNs 0 and 4, so chip
+        # (0,0,0,0)'s block keeps only LPNs 8 (page 2) and 12 (page 3)
+        # — fewest valid, relocated in page order (8 first).
+        core = full_stripe_core(sim, device)
+        sim.run_process(core.trim_lpn(0))
+        sim.run_process(core.trim_lpn(4))
+        return core
+
+    def test_foreground_overwrite_during_relocation_wins(self, sim,
+                                                         device):
+        # A foreground write to LPN 8 whose program completes while
+        # GC's relocation of that very page is in flight must win:
+        # last-completer-wins is decided by the map, and GC must not
+        # remap the LPN to its (now stale) copy.
+        core = self._trimmed_core(sim, device)
+        race = {}
+        original = device.write_page
+
+        def racy_write_page(addr, data, **kwargs):
+            race.setdefault("calls", []).append(addr)
+            if len(race["calls"]) == 1:
+                # LPN 8's relocation: emulate a foreground overwrite
+                # completing while this program is in flight.
+                fresh = core.allocator.next_page()
+                core.map.map_page(8, fresh)
+                core.core._note_program(fresh)
+                core.core.program_done(fresh)
+                race["fresh"] = fresh
+                race["stale_dest"] = addr
+            return original(addr, data, **kwargs)
+
+        device.write_page = racy_write_page
+        assert sim.run_process(core.force_gc())
+        # The newer mapping survived; the stale copy was abandoned.
+        assert core.physical_of(8) == race["fresh"]
+        assert core.map.reverse(race["fresh"]) == 8
+        assert core.map.reverse(race["stale_dest"]) is None
+        assert core.gc_stale_moves == 1
+        assert core.gc_moved_pages == 1                 # LPN 12 only
+        # total = user + moved + stale (the fresh page was mapped
+        # behind the accounting's back, so it charges nothing).
+        assert core.total_writes == 16 + 1 + 1
+
+    def test_trim_during_relocation_write_not_resurrected(self, sim,
+                                                          device):
+        core = self._trimmed_core(sim, device)
+        calls = []
+        original = device.write_page
+
+        def racy_write_page(addr, data, **kwargs):
+            calls.append(addr)
+            if len(calls) == 1:
+                core.core.trim(8)
+            return original(addr, data, **kwargs)
+
+        device.write_page = racy_write_page
+        assert sim.run_process(core.force_gc())
+        assert core.physical_of(8) is None
+        assert core.map.reverse(calls[0]) is None
+        assert core.gc_stale_moves == 1
+        assert core.gc_moved_pages == 1
+
+    def test_trim_during_relocation_read_skips_the_copy(self, sim,
+                                                        device):
+        # Overtaken while the read was still in flight: GC must skip
+        # the relocation entirely — no destination page burned.
+        core = self._trimmed_core(sim, device)
+        calls = []
+        original = device.read_page
+
+        def racy_read_page(addr, **kwargs):
+            calls.append(addr)
+            if len(calls) == 1:
+                core.core.trim(8)
+            return original(addr, **kwargs)
+
+        device.read_page = racy_read_page
+        assert sim.run_process(core.force_gc())
+        assert core.physical_of(8) is None
+        assert core.gc_stale_moves == 0
+        assert core.gc_moved_pages == 1
+        assert core.total_writes == 16 + 1
+
+
+class TestLegacyCoreAccounting:
+    def test_failed_program_charges_nothing_but_burns_page(self, sim,
+                                                           device):
+        # A write whose program fails must not count as a user write
+        # (write-amplification stays honest) and must not leak its
+        # allocated page: it is retired programmed-and-invalid so the
+        # block still fills toward GC eligibility.
+        core = LogStructuredCore(sim, device)
+        original = device.write_page
+        state = {"failed": 0}
+
+        def exploding_write_page(addr, data, **kwargs):
+            if not state["failed"]:
+                state["failed"] = 1
+
+                def boom():
+                    yield sim.timeout(10)
+                    raise RuntimeError("program lost")
+                return boom()
+            return original(addr, data, **kwargs)
+
+        device.write_page = exploding_write_page
+        with pytest.raises(RuntimeError, match="program lost"):
+            sim.run_process(core.write_lpn(0, b"x"))
+        assert core.user_writes == 0
+        assert core.total_writes == 0
+        assert core.write_amplification == 1.0
+        assert core.physical_of(0) is None
+        # The burned page counts toward its block's fill...
+        assert sum(core.core._programmed.values()) == 1
+        # ...and does not gate later same-block programs.
+        sim.run_process(core.write_lpn(0, b"y"))
+        assert core.physical_of(0) is not None
+        assert core.user_writes == 1
+        assert core.total_writes == (core.user_writes
+                                     + core.gc_moved_pages
+                                     + core.gc_stale_moves)
+
+
+class TestLegacyCoreVictimOrder:
+    def test_equal_validity_ties_resolve_by_block_key(self, sim, device):
+        # TRIM one page each from the blocks on chips (0,0,1,0) and
+        # (0,0,0,1): both drop to 3 valid pages (a tie), and the victim
+        # order must follow the block key tuple — (0,0,0,1,0) first —
+        # by construction, never set-iteration order.
+        core = full_stripe_core(sim, device)
+        sim.run_process(core.trim_lpn(1))  # chip (0,0,1,0), page 0
+        sim.run_process(core.trim_lpn(2))  # chip (0,0,0,1), page 0
+        assert sim.run_process(core.force_gc())
+        assert sim.run_process(core.force_gc())
+        assert core.core.gc_victims == [(0, 0, 0, 1, 0), (0, 0, 1, 0, 0)]
 
 
 class TestBlockDeviceFTL:
