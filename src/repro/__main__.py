@@ -10,16 +10,23 @@ Commands
 ``list`` (alias: ``experiments``)
     Print the experiment registry: every reproduced table/figure, its
     id, and the benchmark that asserts it.
-``run <id> [--json PATH]``
+``run <id> [--json PATH] [--jobs N]``
     Run one registered experiment, print its tables, and optionally
     save the machine-readable :class:`~repro.api.RunResult` as JSON.
-``bench [--out PATH] [--baseline PATH] [--wall-clock-only] [ids...]``
+    ``--jobs N`` fans the experiment's sweep points across N worker
+    processes; the result is byte-identical to ``--jobs 1``.
+``bench [--out PATH] [--baseline PATH] [--wall-clock-only] [--jobs N]
+[ids...]``
     Run the fixed perf-snapshot experiment set and write one
     machine-readable JSON file (wall-clock + key metrics per
     experiment) — the artifact CI archives per commit so the bench
     trajectory is comparable over time.  ``--baseline`` diffs wall
-    clocks against a committed snapshot (exit 1 past a generous
-    ``--threshold``); ``--wall-clock-only`` drops the metrics payload.
+    clocks against a committed snapshot, worst slowdown first (exit 1
+    past a generous ``--threshold``); ``--wall-clock-only`` drops the
+    metrics payload.  ``--jobs N`` shares one worker pool across all
+    sweep points and overlaps whole independent experiments; the
+    snapshot records the jobs count so serial and parallel baselines
+    are never silently compared.
 """
 
 from __future__ import annotations
@@ -127,7 +134,7 @@ def cmd_run(args) -> int:
         return 2
     # Outside the try: a KeyError raised by the experiment itself is a
     # bug that must surface as a traceback, not an unknown-id message.
-    result = run_experiment(exp.exp_id)
+    result = run_experiment(exp.exp_id, jobs=args.jobs)
     print(result.render())
     if args.json:
         result.save(args.json)
@@ -186,21 +193,31 @@ def _write_section(results: dict) -> dict:
 
 def _compare_baseline(snapshot: dict, baseline: dict,
                       threshold: float) -> int:
-    """Print the wall-clock diff vs a baseline snapshot.
+    """Print the wall-clock diff vs a baseline snapshot, worst first.
 
     Wall clock on shared CI runners is noisy, so the threshold is
     deliberately generous: only a sustained blow-up (an experiment
     ``threshold``x slower than the committed baseline) fails the
     check.  Returns the number of such regressions.
+
+    A serial snapshot diffed against a parallel baseline (or vice
+    versa) compares apples to oranges, so a ``jobs`` mismatch is
+    called out loudly — but never fails the check on its own.
     """
+    base_jobs = baseline.get("jobs", 1)
+    now_jobs = snapshot.get("jobs", 1)
+    if base_jobs != now_jobs:
+        print(f"\nWARNING: baseline ran with --jobs {base_jobs}, this "
+              f"run with --jobs {now_jobs}; wall clocks are not "
+              f"directly comparable", file=sys.stderr)
     regressions = 0
     comparison: dict = {}
-    print(f"\n{'experiment':12s} {'base':>8s} {'now':>8s} {'speedup':>8s}")
+    scored = []
+    fresh = []
     for exp_id, entry in snapshot["experiments"].items():
         base = baseline.get("experiments", {}).get(exp_id)
         if base is None:
-            print(f"{exp_id:12s} {'-':>8s} {entry['wall_clock_s']:7.2f}s "
-                  f"{'new':>8s}")
+            fresh.append((exp_id, entry))
             continue
         base_s = base["wall_clock_s"]
         now_s = entry["wall_clock_s"]
@@ -208,14 +225,33 @@ def _compare_baseline(snapshot: dict, baseline: dict,
         slow = now_s > threshold * base_s
         comparison[exp_id] = {"baseline_wall_clock_s": base_s,
                               "speedup": round(speedup, 3)}
-        flag = "  REGRESSION" if slow else ""
-        print(f"{exp_id:12s} {base_s:7.2f}s {now_s:7.2f}s "
-              f"{speedup:7.2f}x{flag}")
+        scored.append((speedup, exp_id, base_s, now_s, slow))
         if slow:
             regressions += 1
+    print(f"\n{'experiment':14s} {'base':>8s} {'now':>8s} {'speedup':>8s}")
+    # Worst regression first: the line CI readers care about is on top.
+    for speedup, exp_id, base_s, now_s, slow in sorted(scored):
+        flag = "  REGRESSION" if slow else ""
+        print(f"{exp_id:14s} {base_s:7.2f}s {now_s:7.2f}s "
+              f"{speedup:7.2f}x{flag}")
+    for exp_id, entry in fresh:
+        print(f"{exp_id:14s} {'-':>8s} {entry['wall_clock_s']:7.2f}s "
+              f"{'new':>8s}")
     snapshot["baseline"] = {"threshold": threshold,
+                            "jobs": base_jobs,
                             "experiments": comparison}
     return regressions
+
+
+def _bench_one(exp_id: str, jobs: int):
+    """Run one bench experiment; return (result, wall seconds)."""
+    import time
+
+    from .api import run_experiment
+
+    start = time.perf_counter()
+    result = run_experiment(exp_id, jobs=jobs)
+    return result, time.perf_counter() - start
 
 
 def cmd_bench(args) -> int:
@@ -224,31 +260,48 @@ def cmd_bench(args) -> int:
     import time
 
     from . import __version__ as version
-    from .api import run_experiment
 
     experiments = list(args.experiments) or list(BENCH_SET)
     snapshot = {
-        "schema": 4,
+        "schema": 5,
         "version": version,
         "python": platform.python_version(),
+        "jobs": args.jobs,
         "experiments": {},
     }
-    total = 0.0
+    start_all = time.perf_counter()
+    if args.jobs > 1:
+        # One shared worker pool for every sweep point, plus a thread
+        # per experiment so whole independent experiments overlap too
+        # (threads spend their time blocked on pool futures, so the
+        # process count stays capped at --jobs).
+        from concurrent.futures import ThreadPoolExecutor
+
+        from .parallel import WorkerPool, active_pool
+
+        with WorkerPool(args.jobs) as pool, active_pool(pool), \
+                ThreadPoolExecutor(len(experiments)) as threads:
+            futures = [threads.submit(_bench_one, exp_id, args.jobs)
+                       for exp_id in experiments]
+            outcomes = [future.result() for future in futures]
+    else:
+        outcomes = [_bench_one(exp_id, args.jobs)
+                    for exp_id in experiments]
+    total = time.perf_counter() - start_all
     results = {}
-    for exp_id in experiments:
-        start = time.perf_counter()
-        result = run_experiment(exp_id)
-        wall = time.perf_counter() - start
-        total += wall
+    for exp_id, (result, wall) in zip(experiments, outcomes):
         results[exp_id] = result
+        sim_rate = result.elapsed_ns / wall if wall else 0.0
         entry = {
             "wall_clock_s": round(wall, 3),
             "simulated_ns": result.elapsed_ns,
+            "sim_ns_per_wall_s": round(sim_rate),
         }
         if not args.wall_clock_only:
             entry["metrics"] = result.to_dict()["metrics"]
         snapshot["experiments"][exp_id] = entry
-        print(f"{exp_id:12s} {wall:7.2f}s wall")
+        print(f"{exp_id:14s} {wall:7.2f}s wall  "
+              f"{sim_rate / 1e6:8.2f}M sim-ns/s")
     if not args.wall_clock_only:
         write_section = _write_section(results)
         if write_section:
@@ -285,6 +338,10 @@ def main(argv=None) -> int:
     run_parser.add_argument("experiment", help="experiment id (see list)")
     run_parser.add_argument("--json", metavar="PATH", default=None,
                             help="save the RunResult as JSON to PATH")
+    run_parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                            help="worker processes for sweep points "
+                                 "(results byte-identical to --jobs 1; "
+                                 "default: 1)")
     bench_parser = sub.add_parser(
         "bench", help="run the perf-snapshot set, write one JSON file")
     bench_parser.add_argument("experiments", nargs="*",
@@ -305,6 +362,13 @@ def main(argv=None) -> int:
                               help="regression factor for --baseline "
                                    "(default: 3.0 -- generous, CI "
                                    "runners are noisy)")
+    bench_parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                              help="worker processes shared across "
+                                   "experiments; independent "
+                                   "experiments also overlap "
+                                   "(per-experiment results "
+                                   "byte-identical to --jobs 1; "
+                                   "default: 1)")
     args = parser.parse_args(argv)
     handlers = {"info": cmd_info, "demo": cmd_demo, "list": cmd_list,
                 "experiments": cmd_list, "run": cmd_run,

@@ -11,9 +11,11 @@ suite, and the registry tests all read the same registry.
 from __future__ import annotations
 
 import importlib
+import inspect
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from ..parallel import current_pool, parallel_map
 from .result import RunResult
 
 __all__ = ["Experiment", "experiment", "get_experiment",
@@ -43,10 +45,13 @@ _discovered = False
 
 def experiment(exp_id: str, *, title: str, produces: str,
                label: Optional[str] = None):
-    """Register the decorated zero-argument callable as an experiment.
+    """Register the decorated callable as an experiment.
 
-    The callable must return a :class:`RunResult`.  Registration order
-    is preserved — it is the order ``repro list`` prints.
+    The callable must return a :class:`RunResult` when invoked with no
+    arguments; it may optionally accept a ``jobs=N`` keyword (detected
+    by signature) to fan sweep points across worker processes.
+    Registration order is preserved — it is the order ``repro list``
+    prints.
     """
     def decorator(fn: Callable[[], RunResult]):
         if exp_id in _REGISTRY:
@@ -82,14 +87,44 @@ def get_experiment(exp_id: str) -> Experiment:
                        f"known: {known}") from None
 
 
-def run_experiment(exp_id: str) -> RunResult:
+def _runner_point(exp_id: str) -> RunResult:
+    """Top-level point function: run one whole experiment serially.
+
+    Used to offload an entire experiment into a pool worker when the
+    runner itself has no ``jobs`` knob (``repro bench --jobs N``
+    overlaps such experiments wholesale instead of point-by-point).
+    """
+    return get_experiment(exp_id).runner()
+
+
+def _accepts_jobs(runner: Callable[..., RunResult]) -> bool:
+    try:
+        return "jobs" in inspect.signature(runner).parameters
+    except (TypeError, ValueError):  # builtins, odd callables
+        return False
+
+
+def run_experiment(exp_id: str, jobs: int = 1) -> RunResult:
     """Run one experiment and return its :class:`RunResult`.
+
+    ``jobs`` fans the experiment's sweep points across worker processes
+    when the runner supports it (its signature has a ``jobs``
+    parameter); results are byte-identical to ``jobs=1``.  Runners
+    without the knob run serially — unless an ambient
+    :class:`~repro.parallel.WorkerPool` is active, in which case the
+    whole experiment is offloaded to a worker so independent
+    experiments can overlap.
 
     Stamps the result with the registry's id/title so a saved JSON file
     is self-describing regardless of how the runner labelled it.
     """
     exp = get_experiment(exp_id)
-    result = exp.runner()
+    if _accepts_jobs(exp.runner):
+        result = exp.runner(jobs=jobs)
+    elif current_pool() is not None:
+        result = parallel_map(_runner_point, [exp_id], jobs=jobs)[0]
+    else:
+        result = exp.runner()
     result.experiment = exp.exp_id
     if not result.title:
         result.title = exp.title

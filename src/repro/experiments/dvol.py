@@ -37,6 +37,7 @@ from ..api import (
     experiment,
 )
 from ..network import NetworkConfig
+from ..parallel import parallel_map
 from ..sim import units
 
 # Shared distributed-volume machine knobs.  The stripe chunk matches
@@ -124,16 +125,30 @@ def _mean_pages_per_command(run: RunResult) -> float:
     return pages / commands if commands else 0.0
 
 
+def dvol_scan_point(args: Tuple[str, int]) -> RunResult:
+    """One point: ``(scenario_key, duration_ns)`` -> session run."""
+    key, duration_ns = args
+    if key == "local":
+        spec = dvol_local_spec(duration_ns)
+    else:
+        spec = dvol_scan_spec(key == "coalesce-on", duration_ns)
+    return Session(spec).run()
+
+
 @experiment("dvol_scan",
             title="distributed volume scan: remote coalescing on/off",
             produces="benchmarks/test_dvol_scan.py",
             label="Dvol-scan")
-def run_dvol_scan() -> RunResult:
+def run_dvol_scan(jobs: int = 1,
+                  window_ns: int = SCAN_WINDOW_NS) -> RunResult:
     result = RunResult("dvol_scan")
     page = BENCH_GEOMETRY.page_size
     measured: Dict[str, dict] = {}
     rows = []
-    local = Session(dvol_local_spec()).run()
+    keys = ("local", "coalesce-off", "coalesce-on")
+    runs = parallel_map(dvol_scan_point,
+                        [(key, window_ns) for key in keys], jobs=jobs)
+    local = runs[0]
     local_bw = local.metrics["total_bandwidth_gbs"]
     measured["local"] = {
         "bandwidth_gbs": local.metrics["bandwidth_gbs"],
@@ -142,9 +157,8 @@ def run_dvol_scan() -> RunResult:
                    for name, stats in local.tenant_stats.items()},
     }
     rows.append(["local x1", f"{local_bw:.2f}", "-", "-"])
-    for key, remote_coalesce in (("coalesce-off", False),
-                                 ("coalesce-on", True)):
-        run = Session(dvol_scan_spec(remote_coalesce)).run()
+    for key, run in zip(keys[1:], runs[1:]):
+        remote_coalesce = key == "coalesce-on"
         total = run.metrics["total_bandwidth_gbs"]
         pages_per_cmd = _mean_pages_per_command(run)
         routers = run.metrics["dvol"].get("routers", {})
@@ -164,12 +178,13 @@ def run_dvol_scan() -> RunResult:
             f"{pages_per_cmd:.2f}" if remote_coalesce else "-",
         ])
     result.metrics["scenarios"] = measured
-    result.metrics["window_ns"] = SCAN_WINDOW_NS
+    result.metrics["window_ns"] = window_ns
     result.metrics["page_size"] = page
     result.metrics["aggregate_ratio_vs_local"] = (
         measured["coalesce-on"]["ratio_vs_local_sum"])
     result.metrics["remote_pages_per_command"] = (
-        _mean_pages_per_command(run))
+        _mean_pages_per_command(runs[-1]))
+    result.elapsed_ns = sum(run.elapsed_ns for run in runs)
     result.add_table(
         "dvol_scan",
         "Cluster-wide sequential scan over a 2-shard striped volume "
@@ -204,45 +219,59 @@ def dvol_qd_sweep_spec(n_nodes: int, queue_depth: int,
             tenants=_scan_tenants(n_nodes, SWEEP_SPAN, workers=1)))
 
 
+def dvol_qd_sweep_point(args: Tuple[int, int, int]) -> RunResult:
+    """One point: ``(n_nodes, queue_depth, duration_ns)`` -> run."""
+    n_nodes, queue_depth, duration_ns = args
+    return Session(dvol_qd_sweep_spec(n_nodes, queue_depth,
+                                      duration_ns)).run()
+
+
 @experiment("dvol_qd_sweep",
             title="distributed volume: bandwidth scaling vs queue depth "
                   "and node count",
             produces="benchmarks/test_dvol_qd_sweep.py",
             label="Dvol-QD-sweep")
-def run_dvol_qd_sweep() -> RunResult:
+def run_dvol_qd_sweep(jobs: int = 1,
+                      nodes: Tuple[int, ...] = SWEEP_NODES,
+                      qds: Tuple[int, ...] = SWEEP_QDS,
+                      window_ns: int = SWEEP_WINDOW_NS) -> RunResult:
     result = RunResult("dvol_qd_sweep")
+    points = [(n_nodes, qd, window_ns)
+              for n_nodes in nodes for qd in qds]
+    runs = parallel_map(dvol_qd_sweep_point, points, jobs=jobs)
     sweep: Dict[str, Dict[str, dict]] = {}
     rows = []
-    for n_nodes in SWEEP_NODES:
-        by_qd: Dict[str, dict] = {}
-        for qd in SWEEP_QDS:
-            run = Session(dvol_qd_sweep_spec(n_nodes, qd)).run()
-            total = run.metrics["total_bandwidth_gbs"]
-            p99 = {name: stats["p99_ns"]
-                   for name, stats in run.tenant_stats.items()}
-            by_qd[str(qd)] = {
-                "total_bandwidth_gbs": total,
-                "bandwidth_gbs": run.metrics["bandwidth_gbs"],
-                "p99_ns": p99,
-                "completions": run.metrics["completions"],
-            }
-            rows.append([
-                f"{n_nodes}", f"{qd}", f"{total:.2f}",
-                " / ".join(f"{units.to_us(p99[f'scan-n{i}']):.0f}"
-                           for i in range(n_nodes)),
-            ])
-        sweep[str(n_nodes)] = by_qd
-    top = str(max(SWEEP_QDS))
+    for (n_nodes, qd, _), run in zip(points, runs):
+        total = run.metrics["total_bandwidth_gbs"]
+        p99 = {name: stats["p99_ns"]
+               for name, stats in run.tenant_stats.items()}
+        sweep.setdefault(str(n_nodes), {})[str(qd)] = {
+            "total_bandwidth_gbs": total,
+            "bandwidth_gbs": run.metrics["bandwidth_gbs"],
+            "p99_ns": p99,
+            "completions": run.metrics["completions"],
+        }
+        rows.append([
+            f"{n_nodes}", f"{qd}", f"{total:.2f}",
+            " / ".join(f"{units.to_us(p99[f'scan-n{i}']):.0f}"
+                       for i in range(n_nodes)),
+        ])
+    top = str(max(qds))
     result.metrics["sweep"] = sweep
-    result.metrics["nodes"] = list(SWEEP_NODES)
-    result.metrics["queue_depths"] = list(SWEEP_QDS)
-    result.metrics["window_ns"] = SWEEP_WINDOW_NS
-    result.metrics["scaling_1_to_2"] = (
-        sweep["2"][top]["total_bandwidth_gbs"]
-        / sweep["1"][top]["total_bandwidth_gbs"])
-    result.metrics["scaling_1_to_4"] = (
-        sweep["4"][top]["total_bandwidth_gbs"]
-        / sweep["1"][top]["total_bandwidth_gbs"])
+    result.metrics["nodes"] = list(nodes)
+    result.metrics["queue_depths"] = list(qds)
+    result.metrics["window_ns"] = window_ns
+    result.elapsed_ns = sum(run.elapsed_ns for run in runs)
+    # Scaling ratios for whichever node counts this invocation swept
+    # (reduced grids — e.g. the determinism pins — may omit some).
+    if "1" in sweep and "2" in sweep:
+        result.metrics["scaling_1_to_2"] = (
+            sweep["2"][top]["total_bandwidth_gbs"]
+            / sweep["1"][top]["total_bandwidth_gbs"])
+    if "1" in sweep and "4" in sweep:
+        result.metrics["scaling_1_to_4"] = (
+            sweep["4"][top]["total_bandwidth_gbs"]
+            / sweep["1"][top]["total_bandwidth_gbs"])
     result.add_table(
         "dvol_qd_sweep",
         "Cluster aggregate bandwidth and per-node p99 vs submission "

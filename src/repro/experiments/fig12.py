@@ -12,6 +12,7 @@ from __future__ import annotations
 from ..api import BENCH_GEOMETRY, RunResult, ScenarioSpec, Session, \
     experiment
 from ..flash import PhysAddr
+from ..parallel import parallel_map
 from ..sim import units
 
 PATHS = ["ISP-F", "H-F", "H-RH-F", "H-D"]
@@ -49,33 +50,57 @@ def measure_path(path: str):
     return breakdown, session.tracer
 
 
-@experiment("fig12", title="remote access latency breakdown",
-            produces="benchmarks/test_fig12_latency.py",
-            label="Figure 12")
-def run_fig12() -> RunResult:
-    result = RunResult("fig12")
-    rows = []
-    for path in PATHS:
-        breakdown, tracer = measure_path(path)
-        overall = tracer.overall_latency()
-        result.metrics[path] = {
+def fig12_point(path: str) -> dict:
+    """One point: an access-path name -> plain-dict measurement.
+
+    The tracer and breakdown objects stay in the worker; only plain
+    picklable numbers cross back to the parent.
+    """
+    breakdown, tracer = measure_path(path)
+    overall = tracer.overall_latency()
+    return {
+        "metrics": {
             "breakdown": breakdown.as_dict(),
             "total_ns": breakdown.total,
             "mean_ns": overall.mean,
             "p99_ns": overall.percentile(99),
             "count": overall.count,
             "stages": tracer.stage_summary(),
-        }
+        },
+        "breakdown_ns": {
+            "software": breakdown.software,
+            "storage": breakdown.storage,
+            "transfer": breakdown.transfer,
+            "network": breakdown.network,
+            "total": breakdown.total,
+        },
+        "mean_ns": overall.mean,
+        "p99_ns": overall.percentile(99),
+        "elapsed_ns": tracer.sim.now,
+    }
+
+
+@experiment("fig12", title="remote access latency breakdown",
+            produces="benchmarks/test_fig12_latency.py",
+            label="Figure 12")
+def run_fig12(jobs: int = 1) -> RunResult:
+    result = RunResult("fig12")
+    rows = []
+    runs = parallel_map(fig12_point, PATHS, jobs=jobs)
+    for path, run in zip(PATHS, runs):
+        bd = run["breakdown_ns"]
+        result.metrics[path] = run["metrics"]
         rows.append([
             path,
-            f"{units.to_us(breakdown.software):.1f}",
-            f"{units.to_us(breakdown.storage):.1f}",
-            f"{units.to_us(breakdown.transfer):.1f}",
-            f"{units.to_us(breakdown.network):.2f}",
-            f"{units.to_us(breakdown.total):.1f}",
-            f"{units.to_us(overall.mean):.1f}",
-            f"{units.to_us(overall.percentile(99)):.1f}",
+            f"{units.to_us(bd['software']):.1f}",
+            f"{units.to_us(bd['storage']):.1f}",
+            f"{units.to_us(bd['transfer']):.1f}",
+            f"{units.to_us(bd['network']):.2f}",
+            f"{units.to_us(bd['total']):.1f}",
+            f"{units.to_us(run['mean_ns']):.1f}",
+            f"{units.to_us(run['p99_ns']):.1f}",
         ])
+    result.elapsed_ns = sum(run["elapsed_ns"] for run in runs)
     result.add_table(
         "fig12_latency_breakdown",
         "Figure 12: latency of remote data access "

@@ -26,6 +26,7 @@ from ..api import (
     experiment,
 )
 from ..network import NetworkConfig
+from ..parallel import parallel_map
 
 WINDOW_NS = 2_500_000  # 2.5 ms of simulated time
 NET_CONFIG = NetworkConfig(max_packet_payload=1024)
@@ -87,16 +88,25 @@ def scenario_specs() -> Dict[str, ScenarioSpec]:
     }
 
 
+def fig13_point(name: str) -> dict:
+    """One point: a scenario name -> bandwidth + simulated time."""
+    run = Session(scenario_specs()[name]).run()
+    return {"bandwidth_gbs": run.metrics["total_bandwidth_gbs"],
+            "elapsed_ns": run.elapsed_ns}
+
+
 @experiment("fig13", title="storage bandwidth (4 scenarios)",
             produces="benchmarks/test_fig13_bandwidth.py",
             label="Figure 13")
-def run_fig13() -> RunResult:
+def run_fig13(jobs: int = 1) -> RunResult:
     result = RunResult("fig13")
     measured: Dict[str, float] = {}
-    for name, spec in scenario_specs().items():
-        run = Session(spec).run()
-        measured[name] = run.metrics["total_bandwidth_gbs"]
+    specs = scenario_specs()
+    runs = parallel_map(fig13_point, list(specs), jobs=jobs)
+    for (name, spec), run in zip(specs.items(), runs):
+        measured[name] = run["bandwidth_gbs"]
         result.meta.setdefault("specs", {})[name] = spec.to_dict()
+    result.elapsed_ns = sum(run["elapsed_ns"] for run in runs)
     result.add_table(
         "fig13_bandwidth",
         "Figure 13: bandwidth of data access in BlueDBM",

@@ -24,7 +24,7 @@ per-request accounting, with counts re-scaled to stay unbiased.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Sequence, Tuple
 
 from ..api import (
     BENCH_GEOMETRY,
@@ -35,6 +35,7 @@ from ..api import (
     WorkloadSpec,
     experiment,
 )
+from ..parallel import parallel_map
 from ..sim import units
 
 #: Offered loads (requests/second) bracketing the ISP path's measured
@@ -73,18 +74,36 @@ def open_loop_spec(rate_rps: int,
                                 seed_base=11),)))
 
 
+def open_loop_point(args: Tuple[int, int, int]) -> RunResult:
+    """One point: ``(rate_rps, target_issued, trace_sample)`` -> run.
+
+    The sweep's dominant cost is these independent million-request
+    sessions; each builds its own machine from the rate alone, so
+    ``parallel_map`` fans them across cores.
+    """
+    rate_rps, target_issued, trace_sample = args
+    return Session(open_loop_spec(rate_rps, target_issued,
+                                  trace_sample)).run()
+
+
 @experiment("open_loop",
             title="open-loop offered-load sweep: throughput/p99 knee",
             produces="benchmarks/test_open_loop.py", label="Open-loop")
-def run_open_loop() -> RunResult:
+def run_open_loop(jobs: int = 1,
+                  sweep_rates: Sequence[int] = OPEN_LOOP_RATES,
+                  target_issued: int = OPEN_LOOP_TARGET_ISSUED,
+                  trace_sample: int = OPEN_LOOP_TRACE_SAMPLE
+                  ) -> RunResult:
     result = RunResult("open_loop")
+    runs = parallel_map(
+        open_loop_point,
+        [(rate, target_issued, trace_sample) for rate in sweep_rates],
+        jobs=jobs)
     rates, issued, goodput, p50s, p99s = [], [], [], [], []
     measured: Dict[int, dict] = {}
     rows = []
     total_issued = 0
-    for rate in OPEN_LOOP_RATES:
-        spec = open_loop_spec(rate)
-        run = Session(spec).run()
+    for rate, run in zip(sweep_rates, runs):
         window = run.metrics["window_ns"]
         n_issued = run.metrics["issued"]["users"]
         n_done = run.metrics["completions"]["users"]
@@ -115,7 +134,8 @@ def run_open_loop() -> RunResult:
     result.series["p99_ns"] = p99s
     result.metrics["by_rate"] = measured
     result.metrics["total_issued"] = total_issued
-    result.metrics["trace_sample"] = OPEN_LOOP_TRACE_SAMPLE
+    result.metrics["trace_sample"] = trace_sample
+    result.elapsed_ns = sum(run.elapsed_ns for run in runs)
     # The knee, summarized: the largest offered load whose goodput
     # still tracks within 5%, and the p99 blow-up past it.
     tracking = [r for r, g in zip(rates, goodput) if g >= 0.95 * r]
@@ -127,7 +147,7 @@ def run_open_loop() -> RunResult:
         "Open-loop Poisson arrivals on the ISP path: goodput tracks "
         "offered load until capacity, then clips while p99 explodes "
         f"(knee at ~{capacity / 1000:.0f}k rps; 1-in-"
-        f"{OPEN_LOOP_TRACE_SAMPLE} trace sampling, counts re-scaled)",
+        f"{trace_sample} trace sampling, counts re-scaled)",
         ["Offered", "Issued", "Done", "Goodput", "p50(us)", "p99(us)"],
         rows)
     return result

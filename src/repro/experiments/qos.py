@@ -21,7 +21,7 @@ FIFO-based policy" into a QoS story:
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Sequence, Tuple
 
 from ..analysis.qos import QOS_POLICIES, QOS_TENANTS, run_policy
 from ..api import (
@@ -36,22 +36,33 @@ from ..api import (
 )
 from ..flash import FlashTiming
 from ..network import NetworkConfig
+from ..parallel import parallel_map
 from ..sim import units
 
 DURATION_NS = 20_000_000  # 20 ms of closed-loop hammering
 
 
+def qos_point(args: Tuple[str, int]) -> dict:
+    """One point: ``(policy, duration_ns)`` -> per-tenant summary."""
+    policy, duration_ns = args
+    tracer = run_policy(policy, BENCH_GEOMETRY, duration_ns)
+    return {"tenants": tracer.tenant_summary(tracer.sim.now),
+            "elapsed_ns": tracer.sim.now}
+
+
 @experiment("qos", title="multi-tenant scheduler policies",
             produces="benchmarks/test_qos_multitenant.py",
             label="QoS")
-def run_qos() -> RunResult:
-    measured = {}
-    for policy in QOS_POLICIES:
-        tracer = run_policy(policy, BENCH_GEOMETRY, DURATION_NS)
-        measured[policy] = tracer.tenant_summary(tracer.sim.now)
+def run_qos(jobs: int = 1,
+            duration_ns: int = DURATION_NS) -> RunResult:
+    points = [(policy, duration_ns) for policy in QOS_POLICIES]
+    runs = parallel_map(qos_point, points, jobs=jobs)
+    measured = {policy: run["tenants"]
+                for (policy, _), run in zip(points, runs)}
 
     result = RunResult("qos")
     result.metrics["policies"] = measured
+    result.elapsed_ns = sum(run["elapsed_ns"] for run in runs)
     rows = []
     for policy in QOS_POLICIES:
         for tenant in QOS_TENANTS:
@@ -121,17 +132,25 @@ def qos_cluster_scenario(policy: str,
                               seed=seed, drain=True))
 
 
+def qos_cluster_point(args: Tuple[str, int]) -> RunResult:
+    """One point: ``(policy, duration_ns)`` -> session run."""
+    policy, duration_ns = args
+    return Session(qos_cluster_scenario(policy, duration_ns)).run()
+
+
 @experiment("qos_cluster",
             title="cluster-wide QoS: remote tenants on one splitter",
             produces="benchmarks/test_qos_cluster_wide.py",
             label="QoS-cluster")
-def run_qos_cluster() -> RunResult:
+def run_qos_cluster(jobs: int = 1,
+                    duration_ns: int = CLUSTER_DURATION_NS) -> RunResult:
     result = RunResult("qos_cluster")
     measured: Dict[str, dict] = {}
     rows = []
     weight_total = sum(CLUSTER_WEIGHTS.values())
-    for policy in CLUSTER_POLICIES:
-        run = Session(qos_cluster_scenario(policy)).run()
+    points = [(policy, duration_ns) for policy in CLUSTER_POLICIES]
+    runs = parallel_map(qos_cluster_point, points, jobs=jobs)
+    for (policy, _), run in zip(points, runs):
         tenants = run.tenant_stats
         total_bytes = sum(s["bytes"] for s in tenants.values())
         policy_stats: Dict[str, dict] = {}
@@ -166,6 +185,7 @@ def run_qos_cluster() -> RunResult:
                                  for r, w in CLUSTER_WEIGHTS.items()}
     result.metrics["rates_mbps"] = {f"remote-{r}": m
                                     for r, m in CLUSTER_RATES_MBPS.items()}
+    result.elapsed_ns = sum(run.elapsed_ns for run in runs)
     result.add_table(
         "qos_cluster",
         "Cluster QoS: 3 remote tenants (2 lanes each) on node 0's "
@@ -219,13 +239,32 @@ def qos_gc_scenario(policy: str, with_gc: bool = True,
                               drain=True))
 
 
+def qos_gc_point(args: Tuple[str, int]) -> RunResult:
+    """One point: ``(policy, duration_ns)`` -> session run.
+
+    ``policy="baseline"`` is the GC-free reference the p99 ratios
+    compare against.
+    """
+    policy, duration_ns = args
+    if policy == "baseline":
+        spec = qos_gc_scenario("fifo", with_gc=False,
+                               duration_ns=duration_ns)
+    else:
+        spec = qos_gc_scenario(policy, duration_ns=duration_ns)
+    return Session(spec).run()
+
+
 @experiment("qos_gc",
             title="GC background tenant vs victim p99 (6 policies)",
             produces="benchmarks/test_qos_gc.py",
             label="QoS-GC")
-def run_qos_gc() -> RunResult:
+def run_qos_gc(jobs: int = 1,
+               duration_ns: int = GC_DURATION_NS) -> RunResult:
     result = RunResult("qos_gc")
-    baseline = Session(qos_gc_scenario("fifo", with_gc=False)).run()
+    points = [("baseline", duration_ns)]
+    points += [(policy, duration_ns) for policy in GC_POLICIES]
+    runs = parallel_map(qos_gc_point, points, jobs=jobs)
+    baseline = runs[0]
     baseline_p99 = baseline.tenant_stats["isp"]["p99_ns"]
     result.metrics["baseline"] = {
         "victim": baseline.tenant_stats["isp"],
@@ -233,8 +272,7 @@ def run_qos_gc() -> RunResult:
     measured: Dict[str, dict] = {}
     rows = [["(no gc)", f"{baseline.tenant_stats['isp']['completed']:.0f}",
              f"{units.to_us(baseline_p99):.0f}", "1.0", "-", "-", "-"]]
-    for policy in GC_POLICIES:
-        run = Session(qos_gc_scenario(policy)).run()
+    for (policy, _), run in zip(points[1:], runs[1:]):
         victim = run.tenant_stats["isp"]
         gc = run.tenant_stats["gc"]
         gc_bw = run.metrics["splitter_bandwidth"][0]["gc"]
@@ -255,6 +293,7 @@ def run_qos_gc() -> RunResult:
     result.metrics["policies"] = measured
     result.metrics["gc_rate_mbps"] = GC_RATE_MBPS
     result.metrics["gc_burst_kb"] = GC_BURST_KB
+    result.elapsed_ns = sum(run.elapsed_ns for run in runs)
     result.add_table(
         "qos_gc",
         "GC as a background tenant: victim p99 under each policy "

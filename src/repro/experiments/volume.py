@@ -22,11 +22,16 @@ subsystem where reads, writes, GC, QoS and coalescing all interact:
   rides the dedicated ``volume-gc`` port, so the admission policy
   arbitrates user writes, GC traffic and victim reads together; write
   amplification is > 1 and rises monotonically with fill.
+
+Every scenario here is a pure function of primitives, so the sweeps
+run through :func:`~repro.parallel.parallel_map`: ``jobs=N`` fans the
+(policy, fill) grid — the dominant cost of the bench suite — across
+worker processes, byte-identical to the serial run.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Sequence, Tuple
 
 from ..api import (
     BENCH_GEOMETRY,
@@ -40,6 +45,7 @@ from ..api import (
 )
 from ..flash import FlashGeometry, FlashTiming
 from ..host import HostConfig
+from ..parallel import parallel_map
 from ..sim import units
 from .pipeline import batching_spec
 
@@ -52,7 +58,8 @@ SCAN_MAX_PAGES = 8
 SCAN_SPAN = 16384  # LPNs scanned (fully prefilled)
 
 
-def volume_scan_spec(coalesce: bool) -> ScenarioSpec:
+def volume_scan_spec(coalesce: bool,
+                     duration_ns: int = SCAN_WINDOW_NS) -> ScenarioSpec:
     """Four logical-sequential volume readers at qd 16, 8-slot port."""
     return ScenarioSpec(
         name=f"volume-scan-{'on' if coalesce else 'off'}",
@@ -61,7 +68,7 @@ def volume_scan_spec(coalesce: bool) -> ScenarioSpec:
         volume=VolumeSpec(overprovision=0.25, allocation="sequential",
                           fill=1.0),
         workload=WorkloadSpec(
-            duration_ns=SCAN_WINDOW_NS, queue_depth=SCAN_QD,
+            duration_ns=duration_ns, queue_depth=SCAN_QD,
             tenants=(TenantSpec("scan", access="volume",
                                 workers=SCAN_WORKERS,
                                 max_in_flight=SCAN_SLOTS,
@@ -70,19 +77,30 @@ def volume_scan_spec(coalesce: bool) -> ScenarioSpec:
                                 addr_space=SCAN_SPAN, seed_base=5),)))
 
 
+def volume_scan_point(args: Tuple[str, int]) -> RunResult:
+    """One point: ``(scenario_key, duration_ns)`` -> session run."""
+    key, duration_ns = args
+    if key == "batching-ref":
+        spec = batching_spec("sequential", True, duration_ns)
+    else:
+        spec = volume_scan_spec(key == "scan-on", duration_ns)
+    return Session(spec).run()
+
+
 @experiment("volume_scan",
             title="logical scan through the FTL map (coalesced)",
             produces="benchmarks/test_volume_scan.py",
             label="Volume-scan")
-def run_volume_scan() -> RunResult:
+def run_volume_scan(jobs: int = 1,
+                    window_ns: int = SCAN_WINDOW_NS) -> RunResult:
     result = RunResult("volume_scan")
     page = BENCH_GEOMETRY.page_size
+    keys = ("scan-on", "scan-off", "batching-ref")
+    runs = parallel_map(volume_scan_point,
+                        [(key, window_ns) for key in keys], jobs=jobs)
     measured: Dict[str, dict] = {}
     rows = []
-    for key, spec in (("scan-on", volume_scan_spec(True)),
-                      ("scan-off", volume_scan_spec(False)),
-                      ("batching-ref", batching_spec("sequential", True))):
-        run = Session(spec).run()
+    for key, run in zip(keys, runs):
         tenant = "scan" if key.startswith("scan") else "isp"
         stats = run.tenant_stats[tenant]
         window = run.metrics["window_ns"]
@@ -105,10 +123,11 @@ def run_volume_scan() -> RunResult:
     pcie_ceiling = HostConfig().pcie_dev_to_host_gbs
     result.metrics["scenarios"] = measured
     result.metrics["pcie_ceiling_gbs"] = pcie_ceiling
-    result.metrics["window_ns"] = SCAN_WINDOW_NS
+    result.metrics["window_ns"] = window_ns
     result.metrics["scan_vs_reference"] = (
         measured["scan-on"]["bandwidth_gbs"]
         / min(measured["batching-ref"]["bandwidth_gbs"], pcie_ceiling))
+    result.elapsed_ns = sum(run.elapsed_ns for run in runs)
     result.add_table(
         "volume_scan",
         "Logical-sequential scan through the FTL map: 4 volume readers, "
@@ -128,7 +147,8 @@ BURST_SLOTS = 8
 BURST_MAX_PAGES = 8
 
 
-def write_burst_spec(pattern: str, coalesce: bool) -> ScenarioSpec:
+def write_burst_spec(pattern: str, coalesce: bool,
+                     duration_ns: int = BURST_WINDOW_NS) -> ScenarioSpec:
     """Sequential volume writers, or raw random physical writers.
 
     ``pattern="sequential"`` streams appends through the FTL-backed
@@ -154,47 +174,57 @@ def write_burst_spec(pattern: str, coalesce: bool) -> ScenarioSpec:
         name=f"write-burst-{pattern}-{'on' if coalesce else 'off'}",
         geometry=BENCH_GEOMETRY, coalesce=coalesce,
         coalesce_max_pages=BURST_MAX_PAGES, volume=volume,
-        workload=WorkloadSpec(duration_ns=BURST_WINDOW_NS,
+        workload=WorkloadSpec(duration_ns=duration_ns,
                               queue_depth=BURST_QD, tenants=(tenant,)))
+
+
+def write_burst_point(args: Tuple[str, bool, int]) -> RunResult:
+    """One point: ``(pattern, coalesce, duration_ns)`` -> session run."""
+    pattern, coalesce, duration_ns = args
+    return Session(write_burst_spec(pattern, coalesce, duration_ns)).run()
 
 
 @experiment("write_burst",
             title="program coalescing: sequential vs random writes",
             produces="benchmarks/test_write_burst.py",
             label="Write-burst")
-def run_write_burst() -> RunResult:
+def run_write_burst(jobs: int = 1,
+                    window_ns: int = BURST_WINDOW_NS) -> RunResult:
     result = RunResult("write_burst")
     page = BENCH_GEOMETRY.page_size
+    points = [(pattern, coalesce, window_ns)
+              for pattern in ("sequential", "random")
+              for coalesce in (False, True)]
+    runs = parallel_map(write_burst_point, points, jobs=jobs)
     measured: Dict[str, dict] = {}
     rows = []
-    for pattern in ("sequential", "random"):
+    for (pattern, coalesce, _), run in zip(points, runs):
         tenant = "seq" if pattern == "sequential" else "host"
-        for coalesce in (False, True):
-            run = Session(write_burst_spec(pattern, coalesce)).run()
-            stats = run.tenant_stats[tenant]
-            bandwidth = stats["completed"] * page / BURST_WINDOW_NS
-            wc = (run.metrics.get("write_coalescing", {})
-                  .get(0, {}).get(tenant, {}))
-            key = f"{pattern}-{'on' if coalesce else 'off'}"
-            measured[key] = {
-                "tenant": dict(stats), "stages": dict(run.stage_stats),
-                "bandwidth_gbs": bandwidth, "write_coalescing": wc,
-                "completions": run.metrics["completions"][tenant],
-            }
-            rows.append([
-                pattern, "on" if coalesce else "off",
-                f"{stats['completed']:.0f}",
-                f"{bandwidth:.2f}",
-                f"{units.to_us(stats['mean_ns']):.0f}",
-                f"{units.to_us(stats['p99_ns']):.0f}",
-                f"{wc['commands']:.0f}" if wc else "-",
-                f"{wc['pages_per_command']:.1f}" if wc else "-",
-            ])
+        stats = run.tenant_stats[tenant]
+        bandwidth = stats["completed"] * page / window_ns
+        wc = (run.metrics.get("write_coalescing", {})
+              .get(0, {}).get(tenant, {}))
+        key = f"{pattern}-{'on' if coalesce else 'off'}"
+        measured[key] = {
+            "tenant": dict(stats), "stages": dict(run.stage_stats),
+            "bandwidth_gbs": bandwidth, "write_coalescing": wc,
+            "completions": run.metrics["completions"][tenant],
+        }
+        rows.append([
+            pattern, "on" if coalesce else "off",
+            f"{stats['completed']:.0f}",
+            f"{bandwidth:.2f}",
+            f"{units.to_us(stats['mean_ns']):.0f}",
+            f"{units.to_us(stats['p99_ns']):.0f}",
+            f"{wc['commands']:.0f}" if wc else "-",
+            f"{wc['pages_per_command']:.1f}" if wc else "-",
+        ])
     result.metrics["scenarios"] = measured
-    result.metrics["window_ns"] = BURST_WINDOW_NS
+    result.metrics["window_ns"] = window_ns
     result.metrics["speedup"] = (
         measured["sequential-on"]["bandwidth_gbs"]
         / measured["sequential-off"]["bandwidth_gbs"])
+    result.elapsed_ns = sum(run.elapsed_ns for run in runs)
     result.add_table(
         "write_burst",
         "Program-burst coalescing: 4 writers, qd 16, 8-slot port "
@@ -261,14 +291,34 @@ def gc_steady_spec(policy: str, fill: float,
                               drain=True, tenants=tuple(tenants)))
 
 
+def gc_steady_point(args: Tuple[str, float, int]) -> RunResult:
+    """One point: ``(policy, fill, duration_ns)`` -> session run.
+
+    ``policy="baseline"`` is the writer-less reference run the victim
+    p99 columns compare against.
+    """
+    policy, fill, duration_ns = args
+    if policy == "baseline":
+        spec = gc_steady_spec("fifo", 0.0, duration_ns, with_writer=False)
+    else:
+        spec = gc_steady_spec(policy, fill, duration_ns)
+    return Session(spec).run()
+
+
 @experiment("gc_steady",
             title="steady-state GC: WA and victim p99 vs fill",
             produces="benchmarks/test_gc_steady.py",
             label="GC-steady")
-def run_gc_steady() -> RunResult:
+def run_gc_steady(jobs: int = 1,
+                  policies: Sequence[str] = GC_POLICIES,
+                  fills: Sequence[float] = GC_FILLS,
+                  duration_ns: int = GC_DURATION_NS) -> RunResult:
     result = RunResult("gc_steady")
-    baseline = Session(gc_steady_spec("fifo", 0.0,
-                                      with_writer=False)).run()
+    points = [("baseline", 0.0, duration_ns)]
+    points += [(policy, fill, duration_ns)
+               for policy in policies for fill in fills]
+    runs = parallel_map(gc_steady_point, points, jobs=jobs)
+    baseline, policy_runs = runs[0], runs[1:]
     baseline_p99 = baseline.tenant_stats["isp"]["p99_ns"]
     result.metrics["baseline"] = {
         "victim": dict(baseline.tenant_stats["isp"])}
@@ -276,32 +326,29 @@ def run_gc_steady() -> RunResult:
     rows = [["(no writer)", "-", "-", "-", "-",
              f"{baseline.tenant_stats['isp']['completed']:.0f}",
              f"{units.to_us(baseline_p99):.0f}", "1.0"]]
-    for policy in GC_POLICIES:
-        by_fill: Dict[float, dict] = {}
-        for fill in GC_FILLS:
-            run = Session(gc_steady_spec(policy, fill)).run()
-            victim = run.tenant_stats["isp"]
-            volume = run.metrics["volume"][0]
-            wa = run.metrics["write_amplification"]["writer"]
-            by_fill[fill] = {
-                "write_amplification": wa,
-                "victim": dict(victim),
-                "volume": volume,
-                "writes": run.metrics["completions"]["writer"],
-                "elapsed_ns": run.elapsed_ns,
-            }
-            rows.append([
-                policy, f"{fill:.2f}", f"{wa:.2f}",
-                f"{volume['gc_runs']}",
-                f"{run.metrics['completions']['writer']}",
-                f"{victim['completed']:.0f}",
-                f"{units.to_us(victim['p99_ns']):.0f}",
-                f"{victim['p99_ns'] / baseline_p99:.1f}",
-            ])
-        measured[policy] = by_fill
+    for (policy, fill, _), run in zip(points[1:], policy_runs):
+        victim = run.tenant_stats["isp"]
+        volume = run.metrics["volume"][0]
+        wa = run.metrics["write_amplification"]["writer"]
+        measured.setdefault(policy, {})[fill] = {
+            "write_amplification": wa,
+            "victim": dict(victim),
+            "volume": volume,
+            "writes": run.metrics["completions"]["writer"],
+            "elapsed_ns": run.elapsed_ns,
+        }
+        rows.append([
+            policy, f"{fill:.2f}", f"{wa:.2f}",
+            f"{volume['gc_runs']}",
+            f"{run.metrics['completions']['writer']}",
+            f"{victim['completed']:.0f}",
+            f"{units.to_us(victim['p99_ns']):.0f}",
+            f"{victim['p99_ns'] / baseline_p99:.1f}",
+        ])
     result.metrics["policies"] = measured
-    result.metrics["fills"] = list(GC_FILLS)
+    result.metrics["fills"] = list(fills)
     result.metrics["overprovision"] = GC_OVERPROVISION
+    result.elapsed_ns = sum(run.elapsed_ns for run in runs)
     result.add_table(
         "gc_steady",
         "Steady-state GC on an FTL-backed volume: write amplification "

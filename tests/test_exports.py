@@ -19,7 +19,7 @@ import pytest
 
 PACKAGES = ["repro.io", "repro.sim", "repro.api", "repro.flash",
             "repro.host", "repro.network", "repro.ftl", "repro.volume",
-            "repro.dvol"]
+            "repro.dvol", "repro.parallel"]
 
 #: Package -> names that must stay exported (the QoS policies and
 #: bandwidth accounting from PR 3, the batch/read-coalescing types
@@ -53,6 +53,10 @@ PINNED = {
     "repro.dvol": [
         "ShardedVolume", "PlacementPlanner", "PLACEMENT_MODES",
         "DvolRouter", "ShardServiceIface", "RemoteCoalescer",
+    ],
+    "repro.parallel": [
+        "parallel_map", "WorkerPool", "PointError", "active_pool",
+        "current_pool",
     ],
 }
 

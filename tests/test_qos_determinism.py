@@ -27,15 +27,23 @@ from repro.experiments.dvol import (
     dvol_local_spec,
     dvol_qd_sweep_spec,
     dvol_scan_spec,
+    run_dvol_qd_sweep,
 )
 from repro.experiments.fig13 import isp_multi_spec
-from repro.experiments.pipeline import batching_spec, qd_sweep_spec
+from repro.experiments.open_loop import run_open_loop
+from repro.experiments.pipeline import (
+    batching_spec,
+    qd_sweep_spec,
+    run_qd_sweep,
+)
 from repro.experiments.qos import qos_cluster_scenario, qos_gc_scenario
 from repro.experiments.volume import (
     gc_steady_spec,
+    run_gc_steady,
     volume_scan_spec,
     write_burst_spec,
 )
+from repro.parallel import WorkerPool, active_pool
 
 
 def _shorten(spec, duration_ns):
@@ -273,6 +281,38 @@ def test_ablation_ftl_is_deterministic():
     first = run_ablation_ftl().to_json()
     second = run_ablation_ftl().to_json()
     assert first == second
+
+
+# ----------------------------------------------------------------------
+# jobs=2 vs jobs=1: the parallel runner's headline guarantee
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def pool2():
+    # One shared two-worker pool for every jobs=2 pin below: spawning
+    # workers costs seconds, running points through them does not.
+    with WorkerPool(2) as pool:
+        yield pool
+
+
+@pytest.mark.parametrize("runner,kwargs", [
+    (run_qd_sweep, dict(depths=(1, 8), window_ns=600_000)),
+    (run_gc_steady, dict(policies=("fifo",), fills=(0.9,),
+                         duration_ns=4_000_000)),
+    (run_open_loop, dict(sweep_rates=(200_000, 400_000),
+                         target_issued=4_000)),
+    (run_dvol_qd_sweep, dict(nodes=(1, 2), qds=(2, 8),
+                             window_ns=300_000)),
+], ids=["qd_sweep", "gc_steady", "open_loop", "dvol_qd_sweep"])
+def test_runner_jobs2_is_byte_identical_to_serial(pool2, runner, kwargs):
+    # The whole-experiment pin behind `repro {run,bench} --jobs N`:
+    # fanning a sweep's points across worker processes must change
+    # nothing — not a digit, not a key order — in the merged
+    # RunResult JSON.  (Reduced grids/durations keep tier-1 fast;
+    # the full grids go through the identical code path.)
+    serial = runner(jobs=1, **kwargs).to_json()
+    with active_pool(pool2):
+        parallel = runner(jobs=2, **kwargs).to_json()
+    assert serial == parallel
 
 
 def test_random_traffic_is_untouched_by_coalescing():
