@@ -1,0 +1,31 @@
+"""Chip loss: whole-chip death mid-run, evacuation vs limp-along.
+
+Spec + assertions only (measurement: ``repro run chip_loss``).  One of
+the node's chips refuses programs and erases from 10 ms (reads keep
+working — stored charge survives controller death).  With evacuation
+the driver pulls the chip from allocation and GC-relocates its live
+pages onto the survivors under load; without it the FTL limps along,
+recovering each write that trips over the dead chip and retiring its
+blocks as suspect.  Either way no acknowledged data is lost.
+"""
+
+from conftest import run_registered
+
+
+def test_chip_death_loses_nothing(benchmark, report_tables):
+    result = run_registered(benchmark, "chip_loss")
+    report_tables(result)
+    scenarios = result.metrics["scenarios"]
+    evac, limp = scenarios["evacuate"], scenarios["limp"]
+
+    # Evacuation moved the dead chip's live data onto the survivors.
+    assert evac["reliability"]["chips_evacuated"] == 1
+    assert evac["reliability"]["evacuated_pages"] > 0
+    # Limping along instead takes the failures as they come: many more
+    # refused programs, each recovered by a rewrite elsewhere.
+    assert limp["faults"]["chip_refusals"] > evac["faults"]["chip_refusals"]
+    assert limp["reliability"]["recovered_writes"] > 0
+    # The headline claim: zero acknowledged losses either way.
+    assert evac["reliability"]["lost_pages"] == 0
+    assert limp["reliability"]["lost_pages"] == 0
+    assert evac["completions"] > 0 and limp["completions"] > 0

@@ -1,0 +1,31 @@
+"""Fault storm: p99 through a program/erase failure burst, per policy.
+
+Spec + assertions only (measurement: ``repro run fault_storm``).  The
+``gc_steady`` contention mix runs with a mid-window burst of injected
+failures (10 % of programs, 5 % of erases between 10 ms and 20 ms).
+The write path's verify-rewrite-retire recovery is the thing under
+test: injected failures must actually fire, every failed write must
+recover to a fresh page, and no acknowledged write may be lost under
+any admission policy.
+"""
+
+from conftest import run_registered
+
+from repro.experiments.volume import GC_POLICIES
+
+
+def test_storm_recovers_every_write(benchmark, report_tables):
+    result = run_registered(benchmark, "fault_storm")
+    report_tables(result)
+    policies = result.metrics["policies"]
+
+    for policy in GC_POLICIES:
+        run = policies[policy]
+        # The storm actually fired on this run's write traffic.
+        assert run["faults"]["program_failures"] > 0, policy
+        # Every failed program was recovered by a rewrite...
+        assert (run["reliability"]["recovered_writes"]
+                >= run["faults"]["program_failures"]), policy
+        # ...and zero acknowledged writes were lost.
+        assert run["reliability"]["lost_pages"] == 0, policy
+        assert run["writes"] > 0, policy

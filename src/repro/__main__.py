@@ -126,12 +126,15 @@ def cmd_list(args=None) -> int:
 
 def cmd_run(args) -> int:
     from .api import get_experiment, run_experiment
+    from .faults import set_fault_seed_override
 
     try:
         exp = get_experiment(args.experiment)
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
+    if args.fault_seed is not None:
+        set_fault_seed_override(args.fault_seed)
     # Outside the try: a KeyError raised by the experiment itself is a
     # bug that must surface as a traceback, not an unknown-id message.
     result = run_experiment(exp.exp_id, jobs=args.jobs)
@@ -144,12 +147,13 @@ def cmd_run(args) -> int:
 
 #: The fixed experiment set every ``repro bench`` snapshot covers:
 #: the latency and bandwidth figures, the async-path extensions, the
-#: logical-volume write path, and the distributed-volume cluster path —
-#: small enough to run on every commit, broad enough that a hot-path
-#: regression in any layer moves at least one number.
+#: logical-volume write path, the distributed-volume cluster path, and
+#: the reliability subsystem (wear-out lifetime + failure-burst
+#: recovery) — small enough to run on every commit, broad enough that
+#: a hot-path regression in any layer moves at least one number.
 BENCH_SET = ("fig12", "fig13", "qd_sweep", "batching",
              "volume_scan", "write_burst", "gc_steady",
-             "dvol_scan", "dvol_qd_sweep")
+             "dvol_scan", "dvol_qd_sweep", "lifetime", "fault_storm")
 
 
 def _write_section(results: dict) -> dict:
@@ -263,7 +267,7 @@ def cmd_bench(args) -> int:
 
     experiments = list(args.experiments) or list(BENCH_SET)
     snapshot = {
-        "schema": 5,
+        "schema": 6,
         "version": version,
         "python": platform.python_version(),
         "jobs": args.jobs,
@@ -342,6 +346,11 @@ def main(argv=None) -> int:
                             help="worker processes for sweep points "
                                  "(results byte-identical to --jobs 1; "
                                  "default: 1)")
+    run_parser.add_argument("--fault-seed", type=int, default=None,
+                            metavar="N",
+                            help="override every FaultSpec's seed (only "
+                                 "affects experiments that inject "
+                                 "faults; propagates to --jobs workers)")
     bench_parser = sub.add_parser(
         "bench", help="run the perf-snapshot set, write one JSON file")
     bench_parser.add_argument("experiments", nargs="*",

@@ -43,6 +43,7 @@ from .spec import (
     ONE_CARD_GEOMETRY,
     THROTTLED_TIMING,
     DistributedVolumeSpec,
+    FaultSpec,
     ScenarioSpec,
     SpecError,
     TenantSpec,
@@ -61,6 +62,7 @@ __all__ = [
     "TopologySpec",
     "VolumeSpec",
     "DistributedVolumeSpec",
+    "FaultSpec",
     "SpecError",
     "Session",
     "drive_pipelined",

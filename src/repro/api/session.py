@@ -28,6 +28,7 @@ from ..dvol import (
     ShardServiceIface,
     ShardedVolume,
 )
+from ..faults import fault_seed_override
 from ..flash import PhysAddr
 from ..host import HostInterface
 from ..io import RequestTracer
@@ -72,6 +73,17 @@ class Session:
             coalesce_max_pages=spec.coalesce_max_pages,
             host_queue_depth=spec.host_queue_depth,
         )
+        if spec.fault is not None:
+            # Each node builds its own FaultInjector from the shared
+            # pure plan, so per-node read-disturb/failure state stays
+            # private while the schedule is one seeded function.  A CLI
+            # ``--fault-seed`` override reseeds the plan, nothing else.
+            node_kwargs.update(
+                endurance=(3000 if spec.fault.endurance is None
+                           else spec.fault.endurance),
+                factory_bad_rate=spec.fault.factory_bad_rate,
+                fault_plan=spec.fault.build_plan(fault_seed_override()),
+            )
         # An active distributed volume claims three endpoints of its
         # own right after the application block (requests + two response
         # lanes), leaving the cluster's request/response protocol — and
@@ -150,7 +162,10 @@ class Session:
                     overprovision=spec.volume.overprovision,
                     allocation=spec.volume.allocation,
                     gc_low_watermark=spec.volume.gc_low_watermark,
-                    name=f"volume-n{tenant.node}")
+                    name=f"volume-n{tenant.node}",
+                    **self._volume_fault_kwargs())
+                if spec.fault is not None:
+                    volume.reliability_stats_enabled = True
                 self.volumes[tenant.node] = volume
             port = node.splitter.add_port(tenant=tenant.name,
                                           **tenant.qos_kwargs())
@@ -210,7 +225,10 @@ class Session:
                 overprovision=d.volume.overprovision,
                 allocation=d.volume.allocation,
                 gc_low_watermark=d.volume.gc_low_watermark,
-                name=f"dvol-n{shard}")
+                name=f"dvol-n{shard}",
+                **self._volume_fault_kwargs())
+            if spec.fault is not None:
+                volume.reliability_stats_enabled = True
             service_port = node.splitter.add_port(
                 max_in_flight=d.remote_in_flight, tenant="dvol")
             coalescer = (
@@ -243,6 +261,19 @@ class Session:
             prefill = int(d.volume.fill * size)
             if prefill:
                 self.dvol.prefill(start, prefill)
+
+    def _volume_fault_kwargs(self) -> dict:
+        """Reliability kwargs every session-built volume shares.
+
+        Empty when the spec has no :class:`~repro.api.spec.FaultSpec`,
+        so the ideal-hardware construction path — and its results —
+        stay byte-identical.
+        """
+        fault = self.spec.fault
+        if fault is None:
+            return {}
+        return {"wear_leveling": fault.wear_leveling,
+                "wl_spread_threshold": fault.wl_spread_threshold}
 
     def _configure_qos(self) -> None:
         """Program per-tenant admission QoS; attach background ports.
@@ -783,7 +814,29 @@ class Session:
                 if tenant.access == "volume"}
         if self.dvol is not None:
             result.metrics["dvol"] = self.dvol.stats()
+        if self.spec.fault is not None:
+            result.metrics["faults"] = self.fault_metrics()
         return result
+
+    def fault_metrics(self) -> dict:
+        """Per-node injector and device reliability counters.
+
+        Only reported when the spec carries a
+        :class:`~repro.api.spec.FaultSpec` — absent faults, the metrics
+        dict stays byte-identical to pre-reliability runs.
+        """
+        out: dict = {}
+        for node in self.nodes:
+            stats = (dict(node.faults.stats())
+                     if node.faults is not None else {})
+            stats["device_program_failures"] = node.device.program_failures
+            stats["device_uncorrectable_reads"] = (
+                node.device.uncorrectable_reads)
+            stats["wear_spread"] = node.device.wear.spread()
+            stats["wear_max"] = node.device.wear.max_erase_count
+            stats["grown_bad_blocks"] = node.device.badblocks.grown_bad_count
+            out[node.node_id] = stats
+        return out
 
     def _splitter_bandwidth(self, window: int) -> dict:
         """Per-node, per-tenant bytes serviced at each splitter.

@@ -23,8 +23,9 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
 from ..dvol.placement import PLACEMENT_MODES
+from ..faults import FaultPlan
 from ..flash import FlashGeometry, FlashTiming
-from ..ftl import ALLOCATION_MODES
+from ..ftl import ALLOCATION_MODES, WEAR_LEVELING_MODES
 from ..host import HostConfig
 from ..io import POLICIES
 from ..network import (
@@ -46,6 +47,7 @@ __all__ = [
     "TenantSpec",
     "VolumeSpec",
     "DistributedVolumeSpec",
+    "FaultSpec",
     "WorkloadSpec",
     "ScenarioSpec",
     "SpecError",
@@ -340,6 +342,128 @@ class DistributedVolumeSpec:
         data = dict(data)
         if isinstance(data.get("volume"), dict):
             data["volume"] = VolumeSpec.from_dict(data["volume"])
+        return cls(**data)
+
+
+# ----------------------------------------------------------------------
+# faults / reliability
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FaultSpec:
+    """Deterministic fault injection and the reliability machinery.
+
+    Absent (the default) the scenario runs the ideal-hardware model and
+    every result stays byte-identical to a spec without this class.
+    Present, each node gets a :class:`~repro.faults.FaultInjector`
+    seeded from ``seed``: every fault decision is a pure hash of
+    (seed, operation kind, physical identity, per-entity ordinal), so
+    the schedule is identical across reruns and worker counts.
+
+    * ``program_fail_rate`` / ``erase_fail_rate`` — per-operation
+      failure probabilities, optionally gated to the burst window
+      ``[window_start_ns, window_end_ns)``.  Failed programs consume
+      the page; the volume write path verifies, rewrites to a fresh
+      page and marks the block suspect (retired at its next erase).
+    * ``read_disturb_limit`` / ``read_disturb_rate`` — after ``limit``
+      reads of a block since its last erase, further reads go
+      ECC-uncorrectable with probability ``rate``.
+    * ``wear_ber`` / ``wear_ber_onset`` — extra uncorrectable-read
+      probability ramping linearly from 0 at ``onset`` (fraction of
+      rated endurance consumed) to ``wear_ber`` at end of life.
+    * ``fail_chip`` / ``fail_chip_after_ns`` — whole-chip death: from
+      the given time the chip refuses programs/erases (reads still
+      work — stored charge survives).  Pair with
+      :meth:`~repro.volume.LogicalVolume.evacuate_chip`.
+    * ``wear_leveling`` / ``wl_spread_threshold`` — the FTL's static
+      wear-leveling mode: ``static`` migrates the coldest full block
+      through GC whenever the erase-count spread exceeds the threshold.
+    * ``endurance`` — overrides the device's rated program/erase
+      cycles (default 3000); lifetime experiments shrink it so blocks
+      die within simulated reach.
+    * ``factory_bad_rate`` — fraction of blocks factory-marked bad.
+    """
+
+    seed: int = 0
+    program_fail_rate: float = 0.0
+    erase_fail_rate: float = 0.0
+    window_start_ns: Optional[int] = None
+    window_end_ns: Optional[int] = None
+    read_disturb_limit: Optional[int] = None
+    read_disturb_rate: float = 1.0
+    wear_ber: float = 0.0
+    wear_ber_onset: float = 0.75
+    fail_chip: Optional[Tuple[int, int, int]] = None
+    fail_chip_after_ns: int = 0
+    wear_leveling: str = "none"
+    wl_spread_threshold: int = 8
+    endurance: Optional[int] = None
+    factory_bad_rate: float = 0.0
+
+    def __post_init__(self):
+        for attr in ("program_fail_rate", "erase_fail_rate",
+                     "read_disturb_rate", "wear_ber", "factory_bad_rate"):
+            value = getattr(self, attr)
+            if not 0.0 <= value <= 1.0:
+                raise SpecError(f"fault {attr} must be in [0, 1], "
+                                f"got {value}")
+        if not 0.0 <= self.wear_ber_onset < 1.0:
+            raise SpecError(f"fault wear_ber_onset must be in [0, 1), "
+                            f"got {self.wear_ber_onset}")
+        if self.read_disturb_limit is not None \
+                and self.read_disturb_limit < 1:
+            raise SpecError("fault read_disturb_limit must be >= 1")
+        if self.window_start_ns is not None and self.window_start_ns < 0:
+            raise SpecError("fault window_start_ns must be >= 0")
+        if (self.window_start_ns is not None
+                and self.window_end_ns is not None
+                and self.window_end_ns <= self.window_start_ns):
+            raise SpecError("fault window_end_ns must exceed "
+                            "window_start_ns")
+        if self.fail_chip is not None:
+            chip = tuple(int(v) for v in self.fail_chip)
+            if len(chip) != 3 or any(v < 0 for v in chip):
+                raise SpecError(
+                    f"fault fail_chip must be a (card, bus, chip) "
+                    f"triple of non-negative ints, got {self.fail_chip}")
+            object.__setattr__(self, "fail_chip", chip)
+        if self.fail_chip_after_ns < 0:
+            raise SpecError("fault fail_chip_after_ns must be >= 0")
+        if self.wear_leveling not in WEAR_LEVELING_MODES:
+            raise SpecError(
+                f"unknown wear_leveling mode {self.wear_leveling!r}; "
+                f"expected one of {WEAR_LEVELING_MODES}")
+        if self.wl_spread_threshold < 1:
+            raise SpecError("fault wl_spread_threshold must be >= 1")
+        if self.endurance is not None and self.endurance < 1:
+            raise SpecError("fault endurance must be >= 1")
+
+    def build_plan(self, seed_override: Optional[int] = None) -> FaultPlan:
+        """The pure :class:`~repro.faults.FaultPlan` these knobs name."""
+        return FaultPlan(
+            seed=self.seed if seed_override is None else seed_override,
+            program_fail_rate=self.program_fail_rate,
+            erase_fail_rate=self.erase_fail_rate,
+            window_start_ns=self.window_start_ns,
+            window_end_ns=self.window_end_ns,
+            read_disturb_limit=self.read_disturb_limit,
+            read_disturb_rate=self.read_disturb_rate,
+            wear_ber=self.wear_ber,
+            wear_ber_onset=self.wear_ber_onset,
+            fail_chip=self.fail_chip,
+            fail_chip_after_ns=self.fail_chip_after_ns,
+        )
+
+    def to_dict(self) -> dict:
+        data = dataclasses.asdict(self)
+        if self.fail_chip is not None:
+            data["fail_chip"] = list(self.fail_chip)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        data = dict(data)
+        if data.get("fail_chip") is not None:
+            data["fail_chip"] = tuple(data["fail_chip"])
         return cls(**data)
 
 
@@ -742,6 +866,7 @@ class ScenarioSpec:
     volume: Optional[VolumeSpec] = None
     dvol: Optional[DistributedVolumeSpec] = None
     workload: Optional[WorkloadSpec] = None
+    fault: Optional[FaultSpec] = None
 
     def __post_init__(self):
         # Accept plain dicts for every nested field so from_dict and
@@ -765,6 +890,9 @@ class ScenarioSpec:
         if isinstance(self.workload, dict):
             object.__setattr__(self, "workload",
                                WorkloadSpec.from_dict(self.workload))
+        if isinstance(self.fault, dict):
+            object.__setattr__(self, "fault",
+                               FaultSpec.from_dict(self.fault))
 
         if not self.name:
             raise SpecError("scenario needs a non-empty name")
@@ -991,8 +1119,13 @@ class ScenarioSpec:
     # -- serialization ---------------------------------------------------
     def to_dict(self) -> dict:
         """A plain-dict (JSON-ready) rendering; inverse of
-        :meth:`from_dict`."""
-        return {
+        :meth:`from_dict`.
+
+        The ``fault`` key is emitted only when a :class:`FaultSpec` is
+        present, so pre-reliability specs (and their JSON artifacts)
+        stay byte-identical.
+        """
+        data = {
             "name": self.name,
             "n_nodes": self.n_nodes,
             "geometry": dataclasses.asdict(self.geometry),
@@ -1020,6 +1153,9 @@ class ScenarioSpec:
             "workload": (None if self.workload is None
                          else self.workload.to_dict()),
         }
+        if self.fault is not None:
+            data["fault"] = self.fault.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "ScenarioSpec":
@@ -1045,4 +1181,8 @@ class ScenarioSpec:
             data["dvol"] = DistributedVolumeSpec.from_dict(data["dvol"])
         if data.get("workload") is not None:
             data["workload"] = WorkloadSpec.from_dict(data["workload"])
+        if data.get("fault") is not None:
+            data["fault"] = FaultSpec.from_dict(data["fault"])
+        else:
+            data.pop("fault", None)
         return cls(**data)

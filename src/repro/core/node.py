@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..devices import DRAMStore
+from ..faults import FaultInjector
 from ..flash import (
     DEFAULT_GEOMETRY,
     ErrorModel,
@@ -77,7 +78,10 @@ class BlueDBMNode:
                  bandwidth_window_ns: int = 1_000_000,
                  coalesce: bool = False,
                  coalesce_max_pages: int = 8,
-                 host_queue_depth: int = 8):
+                 host_queue_depth: int = 8,
+                 endurance: int = 3000,
+                 factory_bad_rate: float = 0.0,
+                 fault_plan=None):
         self.sim = sim
         self.node_id = node_id
         self.geometry = geometry
@@ -88,7 +92,15 @@ class BlueDBMNode:
         # Storage device: two custom flash cards with shared management.
         self.device = StorageDevice(sim, geometry=geometry,
                                     timing=flash_timing, errors=errors,
-                                    node=node_id, seed=seed)
+                                    node=node_id, seed=seed,
+                                    factory_bad_rate=factory_bad_rate,
+                                    endurance=endurance)
+        #: The node's fault injector (None = ideal hardware).  Built
+        #: here so each node's read-disturb/failure state is private.
+        self.faults = None
+        if fault_plan is not None:
+            self.faults = FaultInjector(fault_plan, node=node_id)
+            self.device.install_faults(self.faults)
         self.splitter = FlashSplitter(sim, self.device,
                                       policy=splitter_policy,
                                       total_in_flight=splitter_in_flight,

@@ -27,3 +27,4 @@ from . import pipeline  # noqa: F401,E402
 from . import volume  # noqa: F401,E402
 from . import open_loop  # noqa: F401,E402
 from . import dvol  # noqa: F401,E402
+from . import faults  # noqa: F401,E402

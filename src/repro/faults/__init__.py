@@ -1,0 +1,34 @@
+"""``repro.faults`` — deterministic fault injection and reliability.
+
+:class:`FaultPlan` is a pure seeded fault schedule (every decision a
+BLAKE2s hash of the seed and the operation's identity);
+:class:`FaultInjector` is its per-node runtime face, installed on the
+chip model by the session layer when a scenario carries a
+``FaultSpec``.  :func:`set_fault_seed_override` backs the
+``repro run --fault-seed N`` CLI flag: when set, the session replaces
+the seed of any FaultSpec-bearing scenario it builds.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .plan import FaultInjector, FaultPlan
+
+__all__ = ["FaultPlan", "FaultInjector", "set_fault_seed_override",
+           "fault_seed_override"]
+
+_seed_override: Optional[int] = None
+
+
+def set_fault_seed_override(seed: Optional[int]) -> None:
+    """Set (or clear, with ``None``) the process-wide fault-seed
+    override applied to every FaultSpec-bearing scenario the session
+    layer builds — the CLI's ``--fault-seed N``."""
+    global _seed_override
+    _seed_override = seed
+
+
+def fault_seed_override() -> Optional[int]:
+    """The currently active fault-seed override, or ``None``."""
+    return _seed_override

@@ -20,7 +20,15 @@ Layers, bottom-up:
   plus the Address Translation Unit for file-handle access.
 """
 
-from .chip import ErrorModel, EraseError, FlashChip, FlashTiming, ProgramError
+from .chip import (
+    BadBlockProgramError,
+    EraseError,
+    ErrorModel,
+    FlashChip,
+    FlashTiming,
+    ProgramError,
+    ProgramFailedError,
+)
 from .coalesce import Coalescer, WriteCoalescer, first_group, plan_groups
 from .controller import (
     FlashCard,
@@ -46,6 +54,8 @@ __all__ = [
     "ErrorModel",
     "FlashChip",
     "ProgramError",
+    "BadBlockProgramError",
+    "ProgramFailedError",
     "EraseError",
     "FlashCard",
     "ReadResult",

@@ -18,11 +18,32 @@ from .geometry import FlashGeometry, PhysAddr
 from .health import BadBlockTable, WearTracker
 from .store import PageStore
 
-__all__ = ["FlashTiming", "ErrorModel", "FlashChip", "ProgramError", "EraseError"]
+__all__ = ["FlashTiming", "ErrorModel", "FlashChip", "ProgramError",
+           "ProgramFailedError", "EraseError"]
 
 
 class ProgramError(Exception):
     """Illegal program operation (e.g. page not erased first)."""
+
+
+class BadBlockProgramError(ProgramError):
+    """Program rejected because the target block is marked bad.
+
+    A :class:`ProgramError` subclass, but recoverable: a read can mark
+    a block grown-bad *while* a writer already holds an allocated page
+    in it, so the write path treats this like a failed program —
+    retire the page, rewrite elsewhere — rather than a caller bug.
+    """
+
+
+class ProgramFailedError(Exception):
+    """A legal program failed in the array (injected NAND fault).
+
+    Distinct from :class:`ProgramError` (an illegal operation — a
+    caller bug): this is the hardware failing honest work.  The page is
+    consumed — NAND cannot retry a program in place — so recovery means
+    rewriting to a *fresh* page and treating the block as suspect.
+    """
 
 
 class EraseError(Exception):
@@ -108,6 +129,10 @@ class FlashChip:
                              name=f"chip-n{node}c{card}b{bus}ch{chip}")
         # Pages programmed since last erase, per block (NAND write rule).
         self._programmed: Dict[int, Set[int]] = {}
+        # Optional fault injector (repro.faults.FaultInjector); None by
+        # default — every consult below is gated on it, so fault-free
+        # runs take no extra RNG draws and stay byte-identical.
+        self.faults = None
 
     def _owns(self, addr: PhysAddr) -> bool:
         return (addr.node == self.node and addr.card == self.card
@@ -135,6 +160,11 @@ class FlashChip:
         data = self.store.read_data(addr)
         flips = self.errors.flips_for_read(self.wear.wear_fraction(addr),
                                            self.rng)
+        if self.faults is not None:
+            # Read-disturb / wear-out injection: may elevate to a
+            # double flip (detectable-but-uncorrectable for SECDED).
+            flips = self.faults.read_flips(
+                addr, self.wear.wear_fraction(addr), flips)
         parity = None
         if flips:
             # Parity of the *clean* page, as the controller's decoder
@@ -166,6 +196,12 @@ class FlashChip:
             yield self.sim.timeout(self.timing.t_prog_ns)
         finally:
             self.busy.release()
+        if self.faults is not None and self.faults.program_fails(
+                addr, self.wear.erase_count(addr), self.sim.now):
+            # The program time is billed and the page is consumed (no
+            # in-place retry on NAND), but the array holds no data.
+            programmed.add(addr.page)
+            raise ProgramFailedError(f"program failed at {addr}")
         self.store.program(addr, data)
         programmed.add(addr.page)
 
@@ -182,8 +218,15 @@ class FlashChip:
         finally:
             self.busy.release()
         count = self.wear.record_erase(addr)
+        if self.faults is not None and self.faults.erase_fails(
+                addr, count, self.sim.now):
+            # Injected erase failure: the block keeps its old contents
+            # (and its read-disturb clock) and must be retired.
+            raise EraseError(f"erase failed at {addr.block_addr()}")
         self.store.erase_block(addr)
         self._programmed.pop(addr.block, None)
+        if self.faults is not None:
+            self.faults.note_erase(addr)
         if count > self.wear.endurance:
             raise EraseError(
                 f"block {addr.block_addr()} exceeded endurance "

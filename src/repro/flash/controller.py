@@ -27,7 +27,15 @@ from typing import Dict, Optional, Tuple
 from ..io import BatchStageSpan, IORequest, StageSpan
 from ..sim import Counter, Resource, Simulator, Store, units
 from . import ecc
-from .chip import ErrorModel, FlashChip, FlashTiming, ProgramError, EraseError
+from .chip import (
+    BadBlockProgramError,
+    EraseError,
+    ErrorModel,
+    FlashChip,
+    FlashTiming,
+    ProgramError,
+    ProgramFailedError,
+)
 from .geometry import DEFAULT_GEOMETRY, FlashGeometry, PhysAddr
 from .health import BadBlockTable, WearTracker
 from .store import PageStore
@@ -138,6 +146,7 @@ class FlashCard:
         self.erases = Counter("erases")
         self.bits_corrected = Counter("bits_corrected")
         self.uncorrectable = Counter("uncorrectable")
+        self.program_failures = Counter("program_failures")
         self.bytes_read = Counter("bytes_read")
         self.bytes_written = Counter("bytes_written")
 
@@ -347,7 +356,8 @@ class FlashCard:
         if not self.badblocks.pristine:
             for addr in addrs:
                 if self.badblocks.is_bad(addr):
-                    raise ProgramError(f"program to bad block at {addr}")
+                    raise BadBlockProgramError(
+                        f"program to bad block at {addr}")
         last_page: Dict[tuple, int] = {}
         for addr in addrs:
             block_key = (addr.bus, addr.chip, addr.block)
@@ -368,21 +378,40 @@ class FlashCard:
             lanes: Dict[tuple, list] = {}
             for index, addr in enumerate(addrs):
                 lanes.setdefault((addr.bus, addr.chip), []).append(index)
+            # A lane parks an injected program failure instead of
+            # failing its process (mirroring ``_page_read``): the lanes
+            # run as siblings with no waiter of their own, and a
+            # waiterless failure crashes the simulation.  The command
+            # retires as a unit, then reports the first failure.
+            failures: list = []
             procs = [
                 self.sim.process(self._lane_program(
                     [(addrs[i], datas[i], chips[i], requests[i])
-                     for i in indices]))
+                     for i in indices], failures))
                 for indices in lanes.values()
             ]
             for proc in procs:
                 yield proc
+            if failures:
+                raise failures[0]
         finally:
             self._tag_pool.put_nowait(tag)
 
-    def _lane_program(self, pages):
-        """Program one chip's share of a multi-page command, in order."""
+    def _lane_program(self, pages, failures: Optional[list] = None):
+        """Program one chip's share of a multi-page command, in order.
+
+        An injected :class:`~repro.flash.chip.ProgramFailedError` stops
+        the lane (its remaining pages are never programmed) and is
+        parked in ``failures`` for the command to re-raise as a unit.
+        """
         for addr, data, chip, request in pages:
-            yield from self._page_program(addr, data, chip, request)
+            try:
+                yield from self._page_program(addr, data, chip, request)
+            except ProgramFailedError as exc:
+                if failures is None:
+                    raise
+                failures.append(exc)
+                return
 
     def _page_program(self, addr: PhysAddr, data: bytes, chip, request):
         """Data movement + program for one page.
@@ -408,7 +437,16 @@ class FlashCard:
             finally:
                 bus.release()
         with StageSpan(self.sim, request, "storage"):
-            yield self.sim.process(chip.program(addr, data))
+            try:
+                yield self.sim.process(chip.program(addr, data))
+            except ProgramFailedError:
+                # An injected NAND fault, not a caller bug: count it and
+                # let the write path recover (rewrite to a fresh page).
+                # The block is NOT marked bad here — its already-
+                # programmed sibling pages must stay readable; the FTL
+                # retires it as suspect at its next erase instead.
+                self.program_failures.add()
+                raise
         self.writes.add()
         self.bytes_written.add(self.geometry.page_size)
 
@@ -422,7 +460,7 @@ class FlashCard:
         """
         chip = self._chip(addr)
         if self.badblocks.is_bad(addr):
-            raise ProgramError(f"program to bad block at {addr}")
+            raise BadBlockProgramError(f"program to bad block at {addr}")
         with StageSpan(self.sim, request, "tag"):
             tag = yield self._tag_pool.get()
         try:

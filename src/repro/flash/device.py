@@ -45,6 +45,15 @@ class StorageDevice:
                       tags=tags_per_card, seed=seed)
             for index in range(geometry.cards_per_node)
         ]
+        # Optional repro.faults.FaultInjector shared by every chip.
+        self.faults = None
+
+    def install_faults(self, injector) -> None:
+        """Install a fault injector on every chip of every card."""
+        self.faults = injector
+        for card in self.cards:
+            for chip in card.chips.values():
+                chip.faults = injector
 
     def _card(self, addr: PhysAddr) -> FlashCard:
         if addr.node != self.node:
@@ -121,6 +130,14 @@ class StorageDevice:
     @property
     def erases(self) -> int:
         return sum(card.erases.value for card in self.cards)
+
+    @property
+    def program_failures(self) -> int:
+        return sum(card.program_failures.value for card in self.cards)
+
+    @property
+    def uncorrectable_reads(self) -> int:
+        return sum(card.uncorrectable.value for card in self.cards)
 
     def peak_read_bandwidth(self) -> float:
         """Aggregate card ceiling: 2 x 1.2 GB/s with paper defaults."""

@@ -67,6 +67,40 @@ class WearTracker:
         """Minimum erase count among blocks erased at least once."""
         return min(self._erases.values(), default=0)
 
+    def spread(self) -> int:
+        """Max − min erase count over *touched* blocks (0 if none).
+
+        The static wear leveler's trigger: a large spread means hot
+        blocks are burning through their endurance while cold blocks
+        sit on cycles the device will never reclaim on its own.
+        """
+        if not self._erases:
+            return 0
+        counts = self._erases.values()
+        return max(counts) - min(counts)
+
+    def chip_summaries(self) -> Dict[Tuple[int, int, int, int],
+                                     Dict[str, int]]:
+        """Per-chip erase-count summaries over touched blocks.
+
+        Maps ``(node, card, bus, chip)`` to ``blocks_touched`` /
+        ``total_erases`` / ``min_erase_count`` / ``max_erase_count``,
+        in deterministic (sorted) chip order.
+        """
+        summaries: Dict[Tuple[int, int, int, int], Dict[str, int]] = {}
+        for key in sorted(self._erases):
+            node, card, bus, chip, _block = key
+            count = self._erases[key]
+            entry = summaries.setdefault(
+                (node, card, bus, chip),
+                {"blocks_touched": 0, "total_erases": 0,
+                 "min_erase_count": count, "max_erase_count": count})
+            entry["blocks_touched"] += 1
+            entry["total_erases"] += count
+            entry["min_erase_count"] = min(entry["min_erase_count"], count)
+            entry["max_erase_count"] = max(entry["max_erase_count"], count)
+        return summaries
+
 
 class BadBlockTable:
     """Factory and grown bad blocks.

@@ -14,7 +14,7 @@
 """
 
 from .allocator import ALLOCATION_MODES, BlockAllocator
-from .core import FtlCore, OutOfSpaceError
+from .core import WEAR_LEVELING_MODES, FtlCore, OutOfSpaceError
 from .ftl import BlockDeviceFTL
 from .log import LogStructuredCore
 from .mapping import BlockState, PageMap
@@ -25,6 +25,7 @@ __all__ = [
     "BlockAllocator",
     "ALLOCATION_MODES",
     "FtlCore",
+    "WEAR_LEVELING_MODES",
     "LogStructuredCore",
     "OutOfSpaceError",
     "BlockDeviceFTL",

@@ -94,6 +94,10 @@ class BlockAllocator:
             key: None for key in self._chips}
         # Sequential mode's open stripe group: (block, unit, page).
         self._seq_open: Optional[Tuple[int, int, int]] = None
+        # Chips pulled out of allocation (evacuation of a dying chip);
+        # they stay in ``_chips`` so striped-unit numbering is stable,
+        # but every allocation path skips them.
+        self._retired: Set[_ChipKey] = set()
 
     # -- free space --------------------------------------------------------
     @property
@@ -178,15 +182,16 @@ class BlockAllocator:
         return None
 
     def _common_block(self) -> Optional[int]:
-        """A block id free on *every* chip, least total wear first."""
-        if not self._chips:
+        """A block id free on *every* live chip, least total wear first."""
+        active = [key for key in self._chips if key not in self._retired]
+        if not active:
             return None
         common = set.intersection(
-            *(self._free[key] for key in self._chips))
+            *(self._free[key] for key in active))
         if not common:
             return None
         return min(common, key=lambda b: (
-            sum(self._erase_count(key, b) for key in self._chips), b))
+            sum(self._erase_count(key, b) for key in active), b))
 
     def _next_sequential(self) -> Optional[PhysAddr]:
         """One page off the open stripe group, striped-index order.
@@ -200,18 +205,25 @@ class BlockAllocator:
             if block is None:
                 return None
             for key in self._chips:
-                self._take_specific(key, block)
+                if key not in self._retired:
+                    self._take_specific(key, block)
             self._seq_open = (block, 0, 0)
         block, unit, page = self._seq_open
-        node, card, bus, chip = self._chips[unit]
-        addr = PhysAddr(node=node, card=card, bus=bus, chip=chip,
-                        block=block, page=page)
-        unit += 1
-        if unit >= len(self._chips):
-            unit = 0
-            page += 1
-        self._seq_open = (None if page >= self.geometry.pages_per_block
-                          else (block, unit, page))
+        addr = None
+        while addr is None:
+            key = self._chips[unit]
+            if key not in self._retired:
+                node, card, bus, chip = key
+                addr = PhysAddr(node=node, card=card, bus=bus, chip=chip,
+                                block=block, page=page)
+            unit += 1
+            if unit >= len(self._chips):
+                unit = 0
+                page += 1
+                if page >= self.geometry.pages_per_block:
+                    self._seq_open = None
+                    return addr
+        self._seq_open = (block, unit, page)
         return addr
 
     def release_block(self, addr: PhysAddr) -> None:
@@ -232,3 +244,23 @@ class BlockAllocator:
         free = self._free.get(key)
         if free is not None:
             free.discard(addr.block)
+
+    def retire_chip(self, card: int, bus: int, chip: int) -> None:
+        """Pull a dying chip out of allocation entirely.
+
+        Its free blocks and open write point are dropped, the striped
+        rotation stops finding anything on it, and sequential stripe
+        groups skip its units in place — the walk stays stripe-adjacent
+        on the surviving chips (falling back to the rotation when no
+        common block id remains).  Already-allocated pages are the
+        caller's to evacuate (:meth:`~repro.ftl.core.FtlCore.
+        evacuate_chip`).
+        """
+        key = (self.node, card, bus, chip)
+        if key not in self._free:
+            raise ValueError(f"chip ({card}, {bus}, {chip}) not managed "
+                             f"by this allocator")
+        self._retired.add(key)
+        self._free[key].clear()
+        self._heaps[key].clear()
+        self._open[key] = None

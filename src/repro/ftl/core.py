@@ -58,12 +58,24 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Tuple
 
-from ..flash import PhysAddr
+from ..flash import (
+    BadBlockProgramError,
+    EraseError,
+    PhysAddr,
+    ProgramFailedError,
+    UncorrectablePageError,
+)
 from ..sim import Event, Simulator
 from .allocator import ALLOCATION_MODES, BlockAllocator
 from .mapping import PageMap
 
-__all__ = ["FtlCore", "OutOfSpaceError"]
+__all__ = ["FtlCore", "OutOfSpaceError", "WEAR_LEVELING_MODES"]
+
+#: ``none`` = least-erased-first allocation only (the min-heaps already
+#: prefer cold blocks); ``static`` additionally migrates the coldest
+#: *full* block when the erase-count spread crosses a threshold, so
+#: cold data stops camping on cycles the device can never reclaim.
+WEAR_LEVELING_MODES = ("none", "static")
 
 _BlockKey = Tuple[int, int, int, int, int]
 
@@ -84,13 +96,20 @@ class FtlCore:
 
     def __init__(self, sim: Simulator, device, io,
                  mode: str = "striped", gc_low_watermark: int = 2,
-                 name: str = "ftl"):
+                 name: str = "ftl", wear_leveling: str = "none",
+                 wl_spread_threshold: int = 8):
         if mode not in ALLOCATION_MODES:
             raise ValueError(
                 f"unknown allocation mode {mode!r}; expected one "
                 f"of {ALLOCATION_MODES}")
         if gc_low_watermark < 1:
             raise ValueError("gc_low_watermark must be >= 1")
+        if wear_leveling not in WEAR_LEVELING_MODES:
+            raise ValueError(
+                f"unknown wear-leveling mode {wear_leveling!r}; "
+                f"expected one of {WEAR_LEVELING_MODES}")
+        if wl_spread_threshold < 1:
+            raise ValueError("wl_spread_threshold must be >= 1")
         self.sim = sim
         self.device = device
         self.io = io
@@ -98,6 +117,8 @@ class FtlCore:
         self.name = name
         self.allocation = mode
         self.gc_low_watermark = gc_low_watermark
+        self.wear_leveling = wear_leveling
+        self.wl_spread_threshold = wl_spread_threshold
         self.map = PageMap(self.geometry)
         self.allocator = BlockAllocator(self.geometry, device.badblocks,
                                         device.wear, node=device.node,
@@ -129,6 +150,27 @@ class FtlCore:
         #: tiebreak), and this is the pin equivalence tests compare.
         self.gc_victims: List[_BlockKey] = []
         self.prefilled_pages = 0
+        #: blocks that ate a program failure: they keep serving reads
+        #: and filling normally, but are retired (grown-bad) instead of
+        #: released at their next erase — the firmware-style
+        #: retire-at-erase lifecycle.
+        self._suspect: Set[_BlockKey] = set()
+        #: foreground writes recovered by rewriting to a fresh page.
+        self.recovered_writes = 0
+        self.bad_blocks_retired = 0
+        #: pages whose relocation read came back uncorrectable: the
+        #: only copy is gone; the LPN is unmapped (reads as erased).
+        self.gc_lost_pages = 0
+        #: unrecoverable losses, however discovered (GC or foreground).
+        self.lost_pages = 0
+        self.first_loss_ns: Optional[int] = None
+        #: user writes completed when the first page was lost — the
+        #: lifetime experiment's TBW-to-first-loss numerator.
+        self.first_loss_user_writes: Optional[int] = None
+        self.wl_migrations = 0
+        self.evacuated_pages = 0
+        self.chips_evacuated = 0
+        self._wl_last_total_erases = -1
 
     # -- ownership / accounting -----------------------------------------
     def register_owner(self, start: int, end: int, tenant: str) -> None:
@@ -294,6 +336,48 @@ class FtlCore:
         self._note_program(addr)
         self.program_done(addr)
 
+    def note_program_failure(self, addr: PhysAddr) -> None:
+        """Record an injected program failure the write path recovered.
+
+        The burned page retires programmed-and-invalid and its block
+        becomes *suspect*: it keeps serving reads (its acknowledged
+        sibling pages are fine) and keeps filling, but is retired to
+        the grown-bad table instead of released at its next erase.
+        """
+        self.retire_page(addr)
+        self._suspect.add(self._key(addr))
+        self.recovered_writes += 1
+
+    def _record_loss(self) -> None:
+        """One page of acknowledged data is unrecoverable."""
+        self.lost_pages += 1
+        if self.first_loss_ns is None:
+            self.first_loss_ns = self.sim.now
+            self.first_loss_user_writes = self.user_writes_total
+
+    def note_read_loss(self, lpn: int) -> None:
+        """A foreground read came back uncorrectable: the mapping is
+        dropped (the LPN reads as erased from now on) and the loss is
+        recorded.  The card already retired the block."""
+        self.map.unmap(lpn)
+        self._record_loss()
+
+    def reliability_stats(self) -> Dict[str, object]:
+        """The injector-independent recovery/retirement counters."""
+        return {
+            "recovered_writes": self.recovered_writes,
+            "bad_blocks_retired": self.bad_blocks_retired,
+            "gc_lost_pages": self.gc_lost_pages,
+            "lost_pages": self.lost_pages,
+            "first_loss_ns": self.first_loss_ns,
+            "first_loss_user_writes": self.first_loss_user_writes,
+            "wl_migrations": self.wl_migrations,
+            "evacuated_pages": self.evacuated_pages,
+            "chips_evacuated": self.chips_evacuated,
+            "wear_spread": self.device.wear.spread(),
+            "grown_bad_blocks": self.device.badblocks.grown_bad_count,
+        }
+
     def prefill(self, start: int, count: int) -> None:
         """Map ``count`` logical pages from ``start``, instantly.
 
@@ -322,15 +406,57 @@ class FtlCore:
             freed = yield from self.collect_once()
             if not freed:
                 break
+        if self.wear_leveling == "static":
+            yield from self._maybe_level_wear()
 
-    def collect_once(self):
-        """Greedy GC: relocate the fewest-valid full block through the
-        ``io`` backend, erase it.  Returns True if reclaimed.
+    def _maybe_level_wear(self):
+        """Static wear leveling: migrate the coldest full block when the
+        erase-count spread crosses the threshold (DES generator).
 
-        The victim tiebreak is the block key tuple, so equal-validity
-        ties resolve identically on every run and every facade — GC
-        victim order is reproducible by construction, never an artifact
-        of set-iteration order.
+        Least-erased-first allocation levels the *free* pool but cannot
+        touch cold data camped on a barely-erased full block; migrating
+        it returns those cycles to the pool.  Migrations are paced to at
+        most one per block's worth of device erases: a migration costs
+        about one block cycle itself (relocate every valid page, then
+        erase), so any tighter cadence lets a deep cold pool monopolize
+        the allocation path — every post-erase allocation would launch
+        another full-block relocation and foreground writes would crawl.
+        """
+        wear = self.device.wear
+        total = wear.total_erases
+        if (self._wl_last_total_erases >= 0
+                and total - self._wl_last_total_erases
+                < self.geometry.pages_per_block):
+            return
+        if self.allocator.free_blocks < self.gc_low_watermark:
+            # Never spend the GC reserve on leveling.  Exactly *at* the
+            # watermark is fine — ``ensure_space`` stops there, and a
+            # migration hands its victim back to the free pool.
+            return
+        candidates = [key for key in self._full_blocks
+                      if key not in self._suspect]
+        if not candidates:
+            return
+        victim_key = min(candidates, key=lambda key: (
+            wear.erase_count(self._addr_of(key)), key))
+        # Spread is measured against the coldest *migratable* block, not
+        # the tracker's touched-only view: prefilled cold data sits on
+        # never-erased blocks the tracker would exclude, and those are
+        # exactly the blocks leveling exists to recirculate.
+        spread = (wear.max_erase_count
+                  - wear.erase_count(self._addr_of(victim_key)))
+        if spread < self.wl_spread_threshold:
+            return
+        self._wl_last_total_erases = total
+        freed = yield from self.collect_once(victim_key=victim_key,
+                                             force=True)
+        if freed:
+            self.wl_migrations += 1
+
+    def _relocate_valid_pages(self, victim: PhysAddr):
+        """Move every still-valid page of ``victim`` elsewhere (DES
+        generator) — the shared relocation loop of GC, wear leveling,
+        and chip evacuation.
 
         Relocation never races foreground completions: the mapping is
         re-checked after the relocation read and again after the
@@ -338,41 +464,53 @@ class FtlCore:
         TRIM invalidated) while its copy was in flight keeps the newer
         state — last-completer-wins is decided by the *map*, never by
         GC overwriting it with stale data.
+
+        A relocation read that comes back ECC-uncorrectable is an
+        unrecoverable loss: the only copy is gone, the LPN is unmapped
+        (it reads as erased from now on), and the loss is counted —
+        the collection pass itself keeps going.
         """
-        victim_key = min(
-            self._full_blocks,
-            key=lambda key: (self.map.block_state(
-                self._addr_of(key)).valid_count, key),
-            default=None)
-        if victim_key is None:
-            return False
-        victim = self._addr_of(victim_key)
-        state = self.map.block_state(victim)
-        if state.valid_count >= self.geometry.pages_per_block:
-            # Every page still valid: nothing to reclaim anywhere.
-            return False
-        self._full_blocks.discard(victim_key)
-        self.gc_runs += 1
-        self.gc_victims.append(victim_key)
         for page_addr in list(self.map.valid_pages_of(victim)):
             lpn = self.map.reverse(page_addr)
             if lpn is None:
                 continue
-            result = yield from self.io.gc_read(page_addr)
+            try:
+                result = yield from self.io.gc_read(page_addr)
+            except UncorrectablePageError:
+                if self.map.reverse(page_addr) == lpn:
+                    self.map.unmap(lpn)
+                    self.gc_lost_pages += 1
+                    self._record_loss()
+                continue
             if self.map.reverse(page_addr) != lpn:
                 # A foreground write or TRIM overtook the relocation
                 # while the read was in flight: nothing left to move.
                 continue
-            dest = self.allocator.next_page()
-            if dest is None:
-                raise OutOfSpaceError("GC found no destination page")
-            yield from self.await_program_turn(dest)
-            try:
-                yield from self.io.gc_write(dest, result.data)
-            finally:
+            # Relocation writes take injected program failures like any
+            # other write: retire the failed page (marking its block
+            # suspect) and retry on a fresh destination.  The attempt
+            # bound matches the foreground write path's — each retry
+            # lands on a new page, so the failure odds roll fresh.
+            for attempt in range(8):
+                dest = self.allocator.next_page()
+                if dest is None:
+                    raise OutOfSpaceError("GC found no destination page")
+                yield from self.await_program_turn(dest)
+                try:
+                    yield from self.io.gc_write(dest, result.data)
+                except (ProgramFailedError, BadBlockProgramError):
+                    self.note_program_failure(dest)
+                    continue
+                except BaseException:
+                    self.retire_page(dest)
+                    raise
                 self._note_program(dest)
                 self.program_done(dest)
-            self.total_programs += 1
+                self.total_programs += 1
+                break
+            else:
+                raise ProgramFailedError(
+                    f"relocation of LPN {lpn} failed on every destination")
             if self.map.reverse(page_addr) != lpn:
                 # Overtaken during the program: the copy at ``dest`` is
                 # stale.  Keep the newer mapping (or the TRIM) — never
@@ -384,19 +522,121 @@ class FtlCore:
             owner = self.owner_of(lpn)
             self.gc_moved[owner] = self.gc_moved.get(owner, 0) + 1
             self.gc_moved_pages += 1
-        # Erase barrier: foreground reads that resolved a page of this
-        # block before the relocation must finish first — erasing under
-        # them would hand back erased bytes instead of their data.
+
+    def _await_no_readers(self, victim_key: _BlockKey):
+        """Erase barrier: foreground reads that resolved a page of this
+        block before the relocation must finish first — erasing under
+        them would hand back erased bytes instead of their data."""
         while self._reading.get(victim_key):
             gate = Event(self.sim)
             self._read_gates.setdefault(victim_key, []).append(gate)
             yield gate
-        yield from self.io.gc_erase(victim)
+
+    def collect_once(self, victim_key: Optional[_BlockKey] = None,
+                     force: bool = False):
+        """Greedy GC: relocate the fewest-valid full block through the
+        ``io`` backend, erase it.  Returns True if reclaimed.
+
+        The victim tiebreak is the block key tuple, so equal-validity
+        ties resolve identically on every run and every facade — GC
+        victim order is reproducible by construction, never an artifact
+        of set-iteration order.
+
+        ``victim_key``/``force`` serve the static wear leveler: an
+        explicit victim is collected even when every page is still
+        valid (a pure migration frees no space but moves the cold data
+        off a barely-erased block).
+
+        A failed erase (injected fault or endurance exceeded — the card
+        already marked the block grown-bad) is not fatal: the block is
+        retired from the allocator instead of released, as are blocks
+        that went *suspect* after a program failure.
+        """
+        if victim_key is None:
+            victim_key = min(
+                self._full_blocks,
+                key=lambda key: (self.map.block_state(
+                    self._addr_of(key)).valid_count, key),
+                default=None)
+        if victim_key is None:
+            return False
+        victim = self._addr_of(victim_key)
+        state = self.map.block_state(victim)
+        if not force and state.valid_count >= self.geometry.pages_per_block:
+            # Every page still valid: nothing to reclaim anywhere.
+            return False
+        self._full_blocks.discard(victim_key)
+        self.gc_runs += 1
+        self.gc_victims.append(victim_key)
+        yield from self._relocate_valid_pages(victim)
+        yield from self._await_no_readers(victim_key)
+        try:
+            yield from self.io.gc_erase(victim)
+            erased = True
+        except EraseError:
+            # The card marked the block grown-bad; retire it below.
+            erased = False
         self.map.drop_block(victim)
         self._programmed.pop(victim_key, None)
         # The block only became a victim once fully programmed, so no
         # writer can still be gated on it; reset its program cursor for
         # the next time the allocator opens it.
         self._program_next.pop(victim_key, None)
-        self.allocator.release_block(victim)
+        if victim_key in self._suspect:
+            self._suspect.discard(victim_key)
+            self.device.badblocks.mark_bad(victim)
+        if not erased or self.device.badblocks.is_bad(victim):
+            self.allocator.retire_block(victim)
+            self.bad_blocks_retired += 1
+        else:
+            self.allocator.release_block(victim)
         return True
+
+    # -- chip evacuation ---------------------------------------------------
+    def evacuate_block(self, card: int, bus: int, chip: int, block: int):
+        """Relocate one block's valid pages and retire it WITHOUT
+        erasing it (DES generator; the facade's allocation lock must be
+        held).  Returns True if the block held any state.
+
+        The block is marked grown-bad and dropped from the allocator —
+        the dying chip may no longer be able to erase, so unlike GC the
+        block never returns to the free pool.
+        """
+        key = (self.device.node, card, bus, chip, block)
+        victim = self._addr_of(key)
+        had_state = (key in self._full_blocks
+                     or key in self._programmed
+                     or self.map.block_state(victim).valid_count > 0)
+        if not had_state:
+            return False
+        moved_before = self.gc_moved_pages
+        yield from self._relocate_valid_pages(victim)
+        yield from self._await_no_readers(key)
+        self.map.drop_block(victim)
+        self._full_blocks.discard(key)
+        self._programmed.pop(key, None)
+        self._program_next.pop(key, None)
+        self._suspect.discard(key)
+        self.device.badblocks.mark_bad(victim)
+        self.allocator.retire_block(victim)
+        self.bad_blocks_retired += 1
+        self.evacuated_pages += self.gc_moved_pages - moved_before
+        return True
+
+    def evacuate_chip(self, card: int, bus: int, chip: int):
+        """Move everything off a dying chip (DES generator; the
+        facade's allocation lock must be held throughout — the volume
+        facade instead retires the chip and evacuates block-by-block so
+        writers can interleave).
+
+        The chip's free blocks and open write point leave the allocator
+        first (new allocations land elsewhere), then every block with
+        mapped pages is relocated through the ``io`` backend and
+        retired.  Reads still work on a dead chip — stored charge
+        survives controller death — so data comes off intact unless a
+        page was independently unreadable, which counts as a loss.
+        """
+        self.allocator.retire_chip(card, bus, chip)
+        for block in range(self.geometry.blocks_per_chip):
+            yield from self.evacuate_block(card, bus, chip, block)
+        self.chips_evacuated += 1

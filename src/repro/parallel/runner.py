@@ -59,14 +59,20 @@ class PointError(RuntimeError):
             f"process; original traceback:\n{worker_traceback}")
 
 
-def _warm_worker() -> None:
+def _warm_worker(fault_seed: Optional[int] = None) -> None:
     """Worker initializer: import the experiments package once.
 
     Spawned workers start from a cold interpreter; importing
     :mod:`repro.experiments` here loads the whole simulator and the
     registry a single time per worker instead of once per point.
+    ``fault_seed`` replays the parent's ``--fault-seed`` override —
+    process-global state the purity contract would otherwise lose.
     """
     import repro.experiments  # noqa: F401
+
+    if fault_seed is not None:
+        from repro.faults import set_fault_seed_override
+        set_fault_seed_override(fault_seed)
 
 
 def _run_point(fn: Callable[[Any], Any], point: Any) -> tuple:
@@ -95,11 +101,14 @@ class WorkerPool:
             raise ValueError(f"WorkerPool needs jobs >= 2, got {jobs}; "
                              f"jobs=1 is the serial path and never "
                              f"builds a pool")
+        from ..faults import fault_seed_override
+
         self.jobs = jobs
         self._executor = ProcessPoolExecutor(
             max_workers=jobs,
             mp_context=multiprocessing.get_context("spawn"),
-            initializer=_warm_worker)
+            initializer=_warm_worker,
+            initargs=(fault_seed_override(),))
 
     def map(self, fn: Callable[[Any], Any],
             points: Sequence[Any]) -> List[Any]:

@@ -44,7 +44,12 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..flash import PhysAddr
+from ..flash import (
+    BadBlockProgramError,
+    PhysAddr,
+    ProgramFailedError,
+    UncorrectablePageError,
+)
 from ..ftl import FtlCore
 from ..sim import Resource, Simulator
 
@@ -61,11 +66,19 @@ class LogicalVolume:
     owns every mapping, allocation, ordering and accounting decision.
     """
 
+    #: Verify-after-write retry budget: hash-keyed injected failures
+    #: roll fresh odds on every rewrite (different page, block, cycle),
+    #: so this bound is unreachable at any sane failure rate — it only
+    #: guards against a pathological all-ones fault plan.
+    MAX_WRITE_ATTEMPTS = 8
+
     def __init__(self, sim: Simulator, device, gc_port,
                  overprovision: float = 0.25,
                  allocation: str = "sequential",
                  gc_low_watermark: int = 2,
-                 name: str = "volume"):
+                 name: str = "volume",
+                 wear_leveling: str = "none",
+                 wl_spread_threshold: int = 8):
         if not 0.0 <= overprovision < 1.0:
             raise ValueError(
                 f"overprovision must be in [0, 1), got {overprovision}")
@@ -76,11 +89,18 @@ class LogicalVolume:
         self.name = name
         self.overprovision = overprovision
         self.core = FtlCore(sim, device, io=self, mode=allocation,
-                            gc_low_watermark=gc_low_watermark, name=name)
+                            gc_low_watermark=gc_low_watermark, name=name,
+                            wear_leveling=wear_leveling,
+                            wl_spread_threshold=wl_spread_threshold)
         self.logical_pages = int(
             self.geometry.pages_per_node * (1.0 - overprovision))
         self.page_size = self.geometry.page_size
         self._lock = Resource(sim, capacity=1, name=f"{name}-alloc")
+        #: when True, :meth:`stats` adds the reliability counter block
+        #: — set by the session for FaultSpec-bearing scenarios (and
+        #: here when wear leveling is on) so fault-free runs keep their
+        #: exact pre-reliability JSON shape.
+        self.reliability_stats_enabled = wear_leveling != "none"
 
     # -- shared-core state, re-exported ---------------------------------
     @property
@@ -173,7 +193,7 @@ class LogicalVolume:
     def stats(self) -> dict:
         """JSON-ready counters for ``RunResult.metrics``."""
         core = self.core
-        return {
+        stats = {
             "logical_pages": self.logical_pages,
             "mapped_pages": core.map.mapped_count,
             "prefilled_pages": core.prefilled_pages,
@@ -191,6 +211,9 @@ class LogicalVolume:
                 for tenant in core.user_writes},
             "overall_write_amplification": core.write_amplification(),
         }
+        if self.reliability_stats_enabled:
+            stats["reliability"] = core.reliability_stats()
+        return stats
 
     # -- mapping ---------------------------------------------------------
     def _check_lpn(self, lpn: int) -> None:
@@ -243,6 +266,16 @@ class LogicalVolume:
             result = yield from iface._read_flow(addr, software_path,
                                                  request,
                                                  interrupt=interrupt)
+        except UncorrectablePageError:
+            # The only copy is gone (read-disturb / wear-out injection;
+            # the card already retired the block).  Record the loss,
+            # drop the mapping — unless a concurrent overwrite already
+            # moved it, in which case nothing was lost — and hand back
+            # the erased pattern so the workload keeps running; the
+            # loss is surfaced through the reliability counters.
+            if self.core.map.lookup(lpn) == addr:
+                self.core.note_read_loss(lpn)
+            return b"\xff" * self.page_size
         finally:
             self.core.end_read(addr)
         return result.data
@@ -267,22 +300,39 @@ class LogicalVolume:
         """
         self._check_lpn(lpn)
         owner = tenant or iface.tenant
-        yield self._lock.request()
-        try:
-            addr = yield from self.core.allocate()
-        finally:
-            self._lock.release()
-        yield from self.core.await_program_turn(addr)
-        try:
-            yield from iface._write_flow(addr, data, software_path,
-                                         request)
-        except BaseException:
-            # The page is burned whether or not the program landed:
-            # retire it (never mapped, so invalid) instead of leaking
-            # it — the block keeps filling toward GC eligibility.
-            self.core.retire_page(addr)
-            raise
-        self.core.commit_write(lpn, addr, owner)
+        for _attempt in range(self.MAX_WRITE_ATTEMPTS):
+            yield self._lock.request()
+            try:
+                addr = yield from self.core.allocate()
+            finally:
+                self._lock.release()
+            yield from self.core.await_program_turn(addr)
+            try:
+                yield from iface._write_flow(addr, data, software_path,
+                                             request)
+            except (ProgramFailedError, BadBlockProgramError):
+                # Verify-after-write caught an injected program
+                # failure — or the card rejected the program because a
+                # read marked the block grown-bad after the page was
+                # allocated.  Either way the burned page retires, its
+                # block goes suspect (retired at its next erase), and
+                # the write recovers by rewriting to a fresh page — the
+                # caller never sees the fault, so an acknowledged write
+                # is never lost to a program failure.
+                self.core.note_program_failure(addr)
+                continue
+            except BaseException:
+                # The page is burned whether or not the program landed:
+                # retire it (never mapped, so invalid) instead of
+                # leaking it — the block keeps filling toward GC
+                # eligibility.
+                self.core.retire_page(addr)
+                raise
+            self.core.commit_write(lpn, addr, owner)
+            return
+        raise ProgramFailedError(
+            f"write to LPN {lpn} failed {self.MAX_WRITE_ATTEMPTS} "
+            f"programs in a row")
 
     def trim(self, lpn: int) -> None:
         """Invalidate a logical page (TRIM); space is reclaimed by GC."""
@@ -298,6 +348,32 @@ class LogicalVolume:
         finally:
             self._lock.release()
         return reclaimed
+
+    # -- chip evacuation ---------------------------------------------------
+    def evacuate_chip(self, card: int, bus: int, chip: int):
+        """Evacuate a dying chip under QoS (DES generator).
+
+        The chip leaves allocation first (new writes land elsewhere),
+        then its blocks are evacuated one at a time — each block's
+        relocation runs under the allocation lock like a GC pass, and
+        the lock is released between blocks so foreground writers
+        interleave with the evacuation instead of stalling behind it.
+        Relocation I/O rides the volume's low-priority GC port, so the
+        evacuation competes under the configured QoS policy.
+        """
+        yield self._lock.request()
+        try:
+            self.core.allocator.retire_chip(card, bus, chip)
+        finally:
+            self._lock.release()
+        for block in range(self.geometry.blocks_per_chip):
+            yield self._lock.request()
+            try:
+                yield from self.core.evacuate_block(card, bus, chip,
+                                                    block)
+            finally:
+                self._lock.release()
+        self.core.chips_evacuated += 1
 
     # -- GC relocation backend (FtlCore ``io``) ---------------------------
     def gc_read(self, addr: PhysAddr):

@@ -19,7 +19,7 @@ import pytest
 
 PACKAGES = ["repro.io", "repro.sim", "repro.api", "repro.flash",
             "repro.host", "repro.network", "repro.ftl", "repro.volume",
-            "repro.dvol", "repro.parallel"]
+            "repro.dvol", "repro.parallel", "repro.faults"]
 
 #: Package -> names that must stay exported (the QoS policies and
 #: bandwidth accounting from PR 3, the batch/read-coalescing types
@@ -37,15 +37,22 @@ PINNED = {
     ],
     "repro.flash": [
         "Coalescer", "WriteCoalescer", "first_group", "plan_groups",
-        "FlashSplitter", "SplitterPort", "FlashCard",
+        "FlashSplitter", "SplitterPort", "FlashCard", "WearTracker",
+        "BadBlockTable", "ProgramFailedError", "BadBlockProgramError",
     ],
     "repro.api": [
         "ScenarioSpec", "WorkloadSpec", "TenantSpec", "VolumeSpec",
-        "DistributedVolumeSpec", "Session", "RunResult", "experiment",
+        "DistributedVolumeSpec", "FaultSpec", "Session", "RunResult",
+        "experiment",
     ],
     "repro.ftl": [
         "BlockAllocator", "ALLOCATION_MODES", "PageMap", "FtlCore",
         "LogStructuredCore", "OutOfSpaceError", "BlockDeviceFTL",
+        "WEAR_LEVELING_MODES",
+    ],
+    "repro.faults": [
+        "FaultPlan", "FaultInjector", "set_fault_seed_override",
+        "fault_seed_override",
     ],
     "repro.volume": [
         "LogicalVolume",

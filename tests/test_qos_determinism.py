@@ -29,6 +29,7 @@ from repro.experiments.dvol import (
     dvol_scan_spec,
     run_dvol_qd_sweep,
 )
+from repro.experiments.faults import run_fault_storm
 from repro.experiments.fig13 import isp_multi_spec
 from repro.experiments.open_loop import run_open_loop
 from repro.experiments.pipeline import (
@@ -302,7 +303,10 @@ def pool2():
                          target_issued=4_000)),
     (run_dvol_qd_sweep, dict(nodes=(1, 2), qds=(2, 8),
                              window_ns=300_000)),
-], ids=["qd_sweep", "gc_steady", "open_loop", "dvol_qd_sweep"])
+    (run_fault_storm, dict(policies=("fifo",),
+                           duration_ns=12_000_000)),
+], ids=["qd_sweep", "gc_steady", "open_loop", "dvol_qd_sweep",
+        "fault_storm"])
 def test_runner_jobs2_is_byte_identical_to_serial(pool2, runner, kwargs):
     # The whole-experiment pin behind `repro {run,bench} --jobs N`:
     # fanning a sweep's points across worker processes must change
@@ -313,6 +317,61 @@ def test_runner_jobs2_is_byte_identical_to_serial(pool2, runner, kwargs):
     with active_pool(pool2):
         parallel = runner(jobs=2, **kwargs).to_json()
     assert serial == parallel
+
+
+# ----------------------------------------------------------------------
+# reliability subsystem: absent FaultSpec changes nothing
+# ----------------------------------------------------------------------
+def test_spec_without_faultspec_serializes_without_fault_key():
+    # The serialization pin behind "default off = byte-identical": a
+    # spec with no FaultSpec must emit exactly the pre-reliability
+    # dict — no "fault" key, so every committed experiment JSON and
+    # perf snapshot replays unchanged.
+    spec = _shorten(qd_sweep_spec(16), 800_000)
+    assert spec.fault is None
+    assert "fault" not in spec.to_dict()
+    roundtrip = type(spec).from_dict(spec.to_dict())
+    assert roundtrip.fault is None
+
+
+def test_faultless_scenarios_build_no_fault_machinery():
+    # No FaultSpec -> no injector on any chip, no "faults" metrics
+    # section, no "reliability" key in volume stats — and the run
+    # replays byte-identically.
+    spec = _shorten(gc_steady_spec("fifo", 0.9), 2_000_000)
+    session = Session(spec)
+    payload = session.run().to_json()
+    assert session.node.faults is None
+    for card in session.node.device.cards:
+        for chip in card.chips.values():
+            assert chip.faults is None
+    metrics = json.loads(payload)["metrics"]
+    assert "faults" not in metrics
+    assert all("reliability" not in v for v in metrics["volume"])
+    assert payload == Session(spec).run().to_json()
+
+
+def test_zero_rate_faultspec_changes_no_scheduling():
+    # An installed injector with all rates zero must not move a single
+    # event: same elapsed time, same completions, same tenant stats.
+    from repro.api import FaultSpec
+    spec = _shorten(gc_steady_spec("fifo", 0.9), 2_000_000)
+    faulty = dataclasses.replace(spec, fault=FaultSpec(seed=3))
+    base = Session(spec).run()
+    injected = Session(faulty).run()
+    assert injected.elapsed_ns == base.elapsed_ns
+    assert injected.metrics["completions"] == base.metrics["completions"]
+    assert injected.tenant_stats == base.tenant_stats
+
+
+def test_fault_storm_scenario_is_deterministic():
+    # Injected failures, write recovery and suspect-block retirement
+    # must replay byte-identically — fault decisions are hashes of the
+    # plan seed and the operation's identity, never draw-order.
+    from repro.experiments.faults import fault_storm_spec
+    spec = _shorten(fault_storm_spec("wfq"), 15_000_000)
+    first, second = _run_twice(spec)
+    assert first == second
 
 
 def test_random_traffic_is_untouched_by_coalescing():
